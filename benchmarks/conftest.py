@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks regenerate every table and figure of the paper from one shared
+crawl of the bench-scale simulated Web (3,000 sites, two daily re-crawls).
+The crawl itself runs once per session; each benchmark then measures the
+analysis that produces its artefact and asserts the qualitative shape the
+paper reports.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    return ExperimentConfig.bench_scale()
+
+
+@pytest.fixture(scope="session")
+def artifacts(bench_config):
+    """The shared bench-scale crawl (generated once per session)."""
+    return ExperimentRunner(bench_config).run()
+
+
+@pytest.fixture(scope="session")
+def historical(bench_config):
+    """The Figure 4 historical adoption study at bench scale."""
+    return ExperimentRunner(bench_config).run_historical()

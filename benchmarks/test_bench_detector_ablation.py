@@ -1,0 +1,67 @@
+"""Ablation benchmark: detection channels and partner-list coverage.
+
+DESIGN.md calls for an ablation showing why the paper combines the DOM-event
+and web-request channels and avoids static analysis live:
+
+* static analysis on the live pages loses recall (renamed wrappers, gpt-only
+  server-side sites) and picks up lookalike script names;
+* shrinking the curated partner list lowers recall but never precision.
+"""
+
+import pytest
+
+from repro.detector.detector import HBDetector
+from repro.detector.partner_list import build_known_partner_list
+from repro.detector.static_analysis import StaticAnalyzer
+
+
+def _score(pairs):
+    tp = sum(1 for actual, detected in pairs if actual and detected)
+    fp = sum(1 for actual, detected in pairs if not actual and detected)
+    fn = sum(1 for actual, detected in pairs if actual and not detected)
+    precision = tp / (tp + fp) if (tp + fp) else 1.0
+    recall = tp / (tp + fn) if (tp + fn) else 1.0
+    return precision, recall
+
+
+@pytest.fixture(scope="module")
+def page_sample(artifacts):
+    """Ground truth + page loads for a slice of the bench population."""
+    from repro.browser.engine import BrowserEngine
+
+    engine = BrowserEngine(artifacts.environment, seed=artifacts.config.seed)
+    publishers = list(artifacts.population)[:400]
+    return [(publisher, engine.load(publisher)) for publisher in publishers]
+
+
+def test_bench_detector_ablation(benchmark, artifacts, page_sample):
+    full_detector = HBDetector(build_known_partner_list(artifacts.population.registry))
+    narrow_detector = HBDetector(
+        build_known_partner_list(artifacts.population.registry, coverage=0.3, seed=1)
+    )
+    static = StaticAnalyzer()
+
+    def run_ablation():
+        dynamic_full = [(p.uses_hb, full_detector.inspect_page(r).hb_detected) for p, r in page_sample]
+        dynamic_narrow = [(p.uses_hb, narrow_detector.inspect_page(r).hb_detected) for p, r in page_sample]
+        static_pairs = [(p.uses_hb, static.analyze(p.domain, r.page_html).hb_detected)
+                        for p, r in page_sample]
+        return dynamic_full, dynamic_narrow, static_pairs
+
+    dynamic_full, dynamic_narrow, static_pairs = benchmark(run_ablation)
+
+    full_precision, full_recall = _score(dynamic_full)
+    narrow_precision, narrow_recall = _score(dynamic_narrow)
+    static_precision, static_recall = _score(static_pairs)
+
+    # The combined dynamic detector keeps perfect precision and high recall.
+    assert full_precision == 1.0 and full_recall >= 0.9
+    # A stale partner list costs recall, never precision.
+    assert narrow_precision == 1.0
+    assert narrow_recall <= full_recall
+    # Static analysis live loses recall compared to the dynamic detector.
+    assert static_recall < full_recall
+    print()
+    print(f"dynamic (full list):   precision={full_precision:.3f} recall={full_recall:.3f}")
+    print(f"dynamic (30% list):    precision={narrow_precision:.3f} recall={narrow_recall:.3f}")
+    print(f"static analysis:       precision={static_precision:.3f} recall={static_recall:.3f}")

@@ -1,0 +1,16 @@
+"""Benchmark: Figure 12 — ECDF of total HB latency per website.
+
+Paper: median latency ~600 ms (point 1), ~35% of sites above one second, and
+~10% of sites exceeding the common 3-second wrapper timeout (point 2).
+"""
+
+from repro.experiments.figures import figure12_latency_ecdf
+
+
+def test_bench_fig12_latency_ecdf(benchmark, artifacts):
+    result = benchmark(figure12_latency_ecdf, artifacts)
+    assert 350.0 <= result["median_ms"] <= 950.0
+    assert 0.15 <= result["share_above_1s"] <= 0.55
+    assert 0.01 <= result["share_above_3s"] <= 0.25
+    print()
+    print(result["text"])

@@ -1,0 +1,23 @@
+"""Benchmark: Figure 22 — CDF of bid prices (CPM) per HB facet.
+
+Paper: client-side HB draws the highest baseline bid prices; the crawler's
+vanilla profile keeps the absolute values well below real-user RTB prices.
+"""
+
+from repro.experiments.figures import figure22_price_cdf
+from repro.models import HBFacet
+
+
+def test_bench_fig22_price_cdf(benchmark, artifacts):
+    result = benchmark(figure22_price_cdf, artifacts)
+    medians = result["medians"]
+    curves = result["ecdfs"]
+    assert set(medians) == set(HBFacet)
+    # Client-side prices sit above server-side prices (ordering, not absolutes).
+    assert medians[HBFacet.CLIENT_SIDE] > medians[HBFacet.SERVER_SIDE]
+    # Vanilla-profile baseline prices are small but strictly positive.
+    for facet, curve in curves.items():
+        assert curve.values[0] > 0
+        assert curve.median < 2.0
+    print()
+    print(result["text"])

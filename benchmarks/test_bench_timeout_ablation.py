@@ -1,0 +1,65 @@
+"""Ablation benchmark: wrapper timeout vs. late bids and lost revenue.
+
+DESIGN.md calls for a sweep over the wrapper timeout: shorter timeouts cut the
+page's HB latency but turn more bids into late (wasted) bids and lose the
+revenue they carried; longer timeouts recover bids at the cost of latency.
+This isolates the mechanism behind the paper's late-bid findings (§5.2, §7.3).
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.browser.context import BrowserContext
+from repro.hb.wrappers import build_wrapper
+from repro.models import HBFacet
+from repro.utils.rng import derive_rng
+
+
+def _run_with_timeout(publisher, environment, timeout_ms, seed=101):
+    adjusted = dataclasses.replace(publisher, timeout_ms=timeout_ms, misconfigured_wrapper=False)
+    context = BrowserContext.clean_slate(derive_rng(seed, "timeout-ablation", publisher.domain, timeout_ms))
+    outcome = build_wrapper(adjusted, context, environment).run()
+    bids = outcome.received_bids
+    late = [bid for bid in bids if bid.late]
+    return {
+        "latency": outcome.total_latency_ms,
+        "bids": len(bids),
+        "late": len(late),
+        "lost_cpm": sum(bid.cpm or 0.0 for bid in late),
+    }
+
+
+def test_bench_timeout_ablation(benchmark, artifacts):
+    publishers = [
+        publisher
+        for publisher in artifacts.population.hb_publishers()
+        if publisher.facet in (HBFacet.CLIENT_SIDE, HBFacet.HYBRID) and publisher.n_partners >= 3
+    ][:40]
+    assert publishers, "the ablation needs multi-partner client/hybrid publishers"
+    timeouts = (500.0, 1_500.0, 3_000.0, 6_000.0)
+
+    def sweep():
+        per_timeout = {}
+        for timeout_ms in timeouts:
+            rows = [_run_with_timeout(p, artifacts.environment, timeout_ms) for p in publishers]
+            per_timeout[timeout_ms] = {
+                "median_latency": float(np.median([row["latency"] for row in rows])),
+                "late_share": float(
+                    sum(row["late"] for row in rows) / max(1, sum(row["bids"] for row in rows))
+                ),
+                "lost_cpm": float(np.mean([row["lost_cpm"] for row in rows])),
+            }
+        return per_timeout
+
+    per_timeout = benchmark(sweep)
+
+    tightest, loosest = per_timeout[timeouts[0]], per_timeout[timeouts[-1]]
+    # A tighter timeout caps latency but wastes more bids (and their revenue).
+    assert tightest["median_latency"] <= loosest["median_latency"]
+    assert tightest["late_share"] >= loosest["late_share"]
+    assert tightest["lost_cpm"] >= loosest["lost_cpm"] - 1e-9
+    print()
+    for timeout_ms, row in per_timeout.items():
+        print(f"timeout={timeout_ms:>6.0f} ms  median latency={row['median_latency']:7.1f} ms  "
+              f"late share={row['late_share']*100:5.1f}%  lost CPM/page={row['lost_cpm']:.4f}")

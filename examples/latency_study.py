@@ -1,0 +1,63 @@
+"""Example: the user-experience cost of header bidding (Figures 12-20).
+
+This scenario mirrors §5.2-§5.3 of the paper: the overall HB latency, how it
+relates to site popularity, the fastest and slowest demand partners, the cost
+of adding partners and ad-slots, the late bids the broadcast model produces,
+and the comparison against the traditional waterfall.
+
+Run with::
+
+    python examples/latency_study.py [--sites 3000] [--days 1] [--seed 2019]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments import figures
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sites", type=int, default=3_000, help="simulated websites to crawl")
+    parser.add_argument("--days", type=int, default=1, help="daily re-crawls of HB sites")
+    parser.add_argument("--seed", type=int, default=2019, help="random seed")
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    config = ExperimentConfig(total_sites=args.sites, recrawl_days=args.days, seed=args.seed)
+    artifacts = ExperimentRunner(config).run()
+
+    latency = figures.figure12_latency_ecdf(artifacts)
+    print(latency["text"])
+    print()
+    print(f"Median total HB latency: {latency['median_ms']:.0f} ms; "
+          f"{latency['share_above_1s'] * 100:.1f}% of sites above 1 s; "
+          f"{latency['share_above_3s'] * 100:.1f}% above 3 s.")
+    print()
+
+    print(figures.figure13_latency_vs_rank(artifacts)["text"])
+    print()
+    print(figures.figure14_partner_latency(artifacts)["text"])
+    print()
+    print(figures.figure15_latency_vs_partner_count(artifacts)["text"])
+    print()
+    print(figures.figure16_latency_vs_popularity(artifacts)["text"])
+    print()
+    print(figures.figure17_late_bids_ecdf(artifacts)["text"])
+    print()
+    print(figures.figure18_late_bids_per_partner(artifacts)["text"])
+    print()
+    print(figures.figure19_adslots_ecdf(artifacts)["text"])
+    print()
+    print(figures.figure20_latency_vs_adslots(artifacts)["text"])
+    print()
+    print(figures.waterfall_latency_comparison(artifacts)["text"])
+
+
+if __name__ == "__main__":
+    main()

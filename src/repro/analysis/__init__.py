@@ -1,0 +1,63 @@
+"""Analysis of crawled header-bidding datasets.
+
+Every figure and table in the paper's evaluation section maps to one function
+or class in this package.  The functions consume :class:`~repro.analysis.dataset.CrawlDataset`
+objects (collections of per-page detections) and return plain data structures
+(dicts, lists of rows, ECDF arrays) that the benchmarks and examples print.
+"""
+
+from repro.analysis.stats import Ecdf, WhiskerStats, ecdf, percentile, whisker_stats
+from repro.analysis.dataset import CrawlDataset
+from repro.analysis.adoption import adoption_by_rank_tier, adoption_summary
+from repro.analysis.partners import (
+    partner_popularity,
+    partners_per_site_ecdf,
+    partner_combinations,
+    partners_per_facet,
+)
+from repro.analysis.latency import (
+    total_latency_ecdf,
+    latency_by_rank_bin,
+    partner_latency_profiles,
+    latency_by_partner_count,
+    latency_by_popularity_rank,
+)
+from repro.analysis.late_bids import late_bid_ecdf, late_bids_per_partner
+from repro.analysis.adslots import adslots_per_site_ecdf, latency_by_adslot_count, adslot_size_shares
+from repro.analysis.prices import price_ecdf_by_facet, price_by_size, price_by_popularity_rank
+from repro.analysis.facets import facet_breakdown
+from repro.analysis.comparison import hb_vs_waterfall_latency, hb_vs_waterfall_prices
+from repro.analysis.reporting import format_table, format_summary
+
+__all__ = [
+    "Ecdf",
+    "WhiskerStats",
+    "ecdf",
+    "percentile",
+    "whisker_stats",
+    "CrawlDataset",
+    "adoption_by_rank_tier",
+    "adoption_summary",
+    "partner_popularity",
+    "partners_per_site_ecdf",
+    "partner_combinations",
+    "partners_per_facet",
+    "total_latency_ecdf",
+    "latency_by_rank_bin",
+    "partner_latency_profiles",
+    "latency_by_partner_count",
+    "latency_by_popularity_rank",
+    "late_bid_ecdf",
+    "late_bids_per_partner",
+    "adslots_per_site_ecdf",
+    "latency_by_adslot_count",
+    "adslot_size_shares",
+    "price_ecdf_by_facet",
+    "price_by_size",
+    "price_by_popularity_rank",
+    "facet_breakdown",
+    "hb_vs_waterfall_latency",
+    "hb_vs_waterfall_prices",
+    "format_table",
+    "format_summary",
+]

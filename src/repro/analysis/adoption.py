@@ -1,0 +1,124 @@
+"""Header-bidding adoption analysis (§3.2, §4.1, Figure 4).
+
+Two views of adoption are reported by the paper:
+
+* the live crawl's adoption rate overall and per Alexa-rank tier, and
+* the historical adoption series obtained by statically analysing Wayback
+  snapshots of the yearly top-1k lists (Figure 4).
+
+The functions below compute the first view from a :class:`CrawlDataset`; the
+historical series is produced by :class:`repro.crawler.historical.HistoricalCrawler`
+and merely summarised here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.analysis.dataset import CrawlDataset
+from repro.crawler.historical import HistoricalAdoption
+from repro.errors import EmptyDatasetError
+
+__all__ = ["RankTierAdoption", "adoption_by_rank_tier", "adoption_summary", "historical_adoption_rows"]
+
+
+@dataclass(frozen=True)
+class RankTierAdoption:
+    """Adoption within one rank tier (e.g. the top 5k)."""
+
+    tier_label: str
+    min_rank: int
+    max_rank: int
+    sites: int
+    hb_sites: int
+
+    @property
+    def adoption_rate(self) -> float:
+        return self.hb_sites / self.sites if self.sites else 0.0
+
+
+#: The rank tiers the paper quotes: top 5k, 5k-15k, and the rest.
+DEFAULT_TIERS: tuple[tuple[str, int, int], ...] = (
+    ("top 5k", 1, 5_000),
+    ("5k-15k", 5_001, 15_000),
+    ("15k+", 15_001, 10**9),
+)
+
+
+def adoption_by_rank_tier(
+    dataset: CrawlDataset,
+    tiers: Sequence[tuple[str, int, int]] | None = None,
+    *,
+    scale_to_max_rank: bool = True,
+) -> list[RankTierAdoption]:
+    """Adoption rate per rank tier.
+
+    When the crawl covers fewer sites than the paper's 35k (a scaled-down
+    run), ``scale_to_max_rank`` shrinks the tier boundaries proportionally so
+    the three tiers still partition the crawled population.
+    """
+    sites = dataset.sites()
+    if not sites:
+        raise EmptyDatasetError("cannot compute adoption of an empty dataset")
+    tiers = list(tiers or DEFAULT_TIERS)
+
+    max_rank = max(site.rank for site in sites)
+    reference_max = max(high for _, _, high in tiers if high < 10**8)
+    scale = 1.0
+    if scale_to_max_rank and max_rank < reference_max:
+        scale = max_rank / 35_000
+
+    results = []
+    for label, low, high in tiers:
+        low_scaled = max(1, int(round((low - 1) * scale)) + 1) if scale != 1.0 else low
+        if high < 10**8 and scale != 1.0:
+            high_scaled = max(low_scaled, int(round(high * scale)))
+        else:
+            high_scaled = high
+        in_tier = [site for site in sites if low_scaled <= site.rank <= high_scaled]
+        hb_in_tier = [site for site in in_tier if site.hb_detected]
+        results.append(
+            RankTierAdoption(
+                tier_label=label,
+                min_rank=low_scaled,
+                max_rank=min(high_scaled, max_rank),
+                sites=len(in_tier),
+                hb_sites=len(hb_in_tier),
+            )
+        )
+    return results
+
+
+def adoption_summary(dataset: CrawlDataset) -> dict[str, float]:
+    """Overall adoption rate plus the per-tier rates, as one flat mapping."""
+    sites = dataset.sites()
+    if not sites:
+        raise EmptyDatasetError("cannot compute adoption of an empty dataset")
+    hb_sites = [site for site in sites if site.hb_detected]
+    summary: dict[str, float] = {
+        "overall": len(hb_sites) / len(sites),
+        "sites": float(len(sites)),
+        "hb_sites": float(len(hb_sites)),
+    }
+    for tier in adoption_by_rank_tier(dataset):
+        summary[f"tier:{tier.tier_label}"] = tier.adoption_rate
+    return summary
+
+
+def historical_adoption_rows(historical: HistoricalAdoption) -> list[dict[str, float]]:
+    """Flatten a historical adoption result into Figure-4 style rows."""
+    rows = []
+    for year in historical.years:
+        yearly = historical.by_year[year]
+        rows.append(
+            {
+                "year": float(year),
+                "sites": float(yearly.sites_analyzed),
+                "detected_hb": float(yearly.sites_with_hb),
+                "adoption_rate": yearly.adoption_rate,
+                "precision": yearly.precision,
+                "recall": yearly.recall,
+            }
+        )
+    return rows

@@ -1,0 +1,73 @@
+"""Auctioned ad-slot analysis (§5.3, Figures 19-21).
+
+How many slots a page puts up for auction, how that number relates to the
+overall HB latency, and which creative sizes dominate in each HB facet.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Mapping
+
+from repro.analysis.dataset import CrawlDataset
+from repro.analysis.stats import Ecdf, WhiskerStats, ecdf, whisker_stats
+from repro.errors import EmptyDatasetError
+from repro.models import HBFacet
+
+__all__ = ["adslots_per_site_ecdf", "latency_by_adslot_count", "adslot_size_shares"]
+
+
+def adslots_per_site_ecdf(dataset: CrawlDataset) -> dict[HBFacet, Ecdf]:
+    """Figure 19: ECDF of the number of auctioned ad-slots per site, per facet."""
+    grouped: dict[HBFacet, list[float]] = {facet: [] for facet in HBFacet}
+    for site in dataset.hb_sites():
+        if not site.auctions:
+            continue
+        assert site.facet is not None
+        grouped[site.facet].append(float(site.n_auctions))
+    result: dict[HBFacet, Ecdf] = {}
+    for facet, values in grouped.items():
+        if values:
+            result[facet] = ecdf(values)
+    if not result:
+        raise EmptyDatasetError("no auctioned ad-slots in the dataset")
+    return result
+
+
+def latency_by_adslot_count(dataset: CrawlDataset, *, max_count: int = 15) -> list[tuple[int, WhiskerStats]]:
+    """Figure 20: HB latency as a function of the number of auctioned slots."""
+    grouped: dict[int, list[float]] = {}
+    for detection in dataset.hb_detections():
+        if detection.total_latency_ms is None or detection.total_latency_ms <= 0:
+            continue
+        count = detection.n_auctions
+        if count < 1:
+            continue
+        grouped.setdefault(min(count, max_count), []).append(detection.total_latency_ms)
+    if not grouped:
+        raise EmptyDatasetError("no HB latency observations in the dataset")
+    return [(count, whisker_stats(values)) for count, values in sorted(grouped.items())]
+
+
+def adslot_size_shares(dataset: CrawlDataset, *, top_n: int = 10) -> dict[HBFacet, list[tuple[str, float]]]:
+    """Figure 21: the most popular creative sizes per facet (share of slots)."""
+    grouped = dataset.auctions_by_facet()
+    result: dict[HBFacet, list[tuple[str, float]]] = {}
+    for facet, auctions in grouped.items():
+        counter: Counter[str] = Counter()
+        total = 0
+        for auction in auctions:
+            size = auction.size
+            if size is None:
+                # Fall back to the sizes reported by the auction's bids.
+                sizes = [bid.size for bid in auction.bids if bid.size]
+                size = sizes[0] if sizes else None
+            if size is None:
+                continue
+            counter[size] += 1
+            total += 1
+        if total == 0:
+            result[facet] = []
+            continue
+        result[facet] = [(size, count / total) for size, count in counter.most_common(top_n)]
+    return result

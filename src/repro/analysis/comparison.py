@@ -1,0 +1,150 @@
+"""Header bidding versus the waterfall standard.
+
+The paper's headline comparison (§1, §7.2) is that HB latency can be up to 3x
+the waterfall's in the median case and far worse in the tail, while §5.4
+contrasts the vanilla-profile HB bid prices with the (higher) RTB clearing
+prices prior work measured for real users.  Because the reproduction owns a
+full waterfall implementation, both comparisons are *generated*: the same
+slot inventory is sold once through HB (from the crawl dataset) and once
+through the waterfall baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.dataset import CrawlDataset
+from repro.analysis.stats import WhiskerStats, percentile, whisker_stats
+from repro.ecosystem.publishers import Publisher
+from repro.errors import EmptyDatasetError
+from repro.hb.environment import AuctionEnvironment
+from repro.hb.waterfall import build_waterfall_chain, run_waterfall
+from repro.utils.rng import derive_rng
+
+__all__ = ["LatencyComparison", "PriceComparison", "hb_vs_waterfall_latency", "hb_vs_waterfall_prices"]
+
+
+@dataclass(frozen=True)
+class LatencyComparison:
+    """Latency of HB and of the waterfall baseline over the same sites."""
+
+    hb: WhiskerStats
+    waterfall: WhiskerStats
+
+    @property
+    def median_ratio(self) -> float:
+        """How many times slower HB is than the waterfall at the median."""
+        if self.waterfall.median == 0:
+            return float("inf")
+        return self.hb.median / self.waterfall.median
+
+    @property
+    def p90_ratio(self) -> float:
+        if self.waterfall.p95 == 0:
+            return float("inf")
+        return self.hb.p95 / self.waterfall.p95
+
+
+@dataclass(frozen=True)
+class PriceComparison:
+    """Clearing prices of HB (vanilla profile) vs. waterfall RTB (real users)."""
+
+    hb: WhiskerStats
+    waterfall_real_user: WhiskerStats
+    waterfall_vanilla: WhiskerStats
+
+    @property
+    def real_user_median_ratio(self) -> float:
+        if self.hb.median == 0:
+            return float("inf")
+        return self.waterfall_real_user.median / self.hb.median
+
+
+def _simulate_waterfall_latencies(
+    publishers: Sequence[Publisher],
+    environment: AuctionEnvironment,
+    *,
+    seed: int,
+    real_user: bool = False,
+) -> tuple[list[float], list[float]]:
+    """Waterfall latency and clearing-price samples over the given sites."""
+    latencies: list[float] = []
+    prices: list[float] = []
+    for publisher in publishers:
+        rng = derive_rng(seed, "waterfall-comparison", publisher.domain)
+        chain = build_waterfall_chain(environment.registry, rng)
+        slots = publisher.slots or publisher.auctioned_slots
+        page_latency = 0.0
+        for index, slot in enumerate(slots):
+            outcome = run_waterfall(
+                slot,
+                chain,
+                environment,
+                rng,
+                latency_scale=publisher.latency_scale,
+                real_user=real_user,
+            )
+            # The ad server works through the slots independently and the page
+            # only blocks on the first (above-the-fold) slot, so the per-page
+            # waterfall latency the user perceives is that slot's latency.
+            if index == 0:
+                page_latency = outcome.total_latency_ms
+            if outcome.clearing_cpm > 0:
+                prices.append(outcome.clearing_cpm)
+        if page_latency > 0:
+            latencies.append(page_latency)
+    return latencies, prices
+
+
+def hb_vs_waterfall_latency(
+    dataset: CrawlDataset,
+    publishers: Sequence[Publisher],
+    environment: AuctionEnvironment,
+    *,
+    seed: int = 2019,
+) -> LatencyComparison:
+    """Compare page-level HB latency with the waterfall baseline."""
+    hb_values = [
+        detection.total_latency_ms
+        for detection in dataset.hb_detections()
+        if detection.total_latency_ms is not None and detection.total_latency_ms > 0
+    ]
+    if not hb_values:
+        raise EmptyDatasetError("no HB latency observations in the dataset")
+    hb_publishers = [publisher for publisher in publishers if publisher.uses_hb]
+    if not hb_publishers:
+        raise EmptyDatasetError("no HB publishers supplied for the waterfall baseline")
+    waterfall_values, _ = _simulate_waterfall_latencies(hb_publishers, environment, seed=seed)
+    return LatencyComparison(hb=whisker_stats(hb_values), waterfall=whisker_stats(waterfall_values))
+
+
+def hb_vs_waterfall_prices(
+    dataset: CrawlDataset,
+    publishers: Sequence[Publisher],
+    environment: AuctionEnvironment,
+    *,
+    seed: int = 2019,
+) -> PriceComparison:
+    """Compare HB bid prices with waterfall RTB clearing prices."""
+    hb_prices = [bid.cpm for bid in dataset.priced_bids() if bid.cpm is not None and bid.cpm > 0]
+    if not hb_prices:
+        raise EmptyDatasetError("no priced HB bids in the dataset")
+    hb_publishers = [publisher for publisher in publishers if publisher.uses_hb]
+    if not hb_publishers:
+        raise EmptyDatasetError("no HB publishers supplied for the waterfall baseline")
+    _, real_user_prices = _simulate_waterfall_latencies(
+        hb_publishers, environment, seed=seed, real_user=True
+    )
+    _, vanilla_prices = _simulate_waterfall_latencies(
+        hb_publishers, environment, seed=seed + 1, real_user=False
+    )
+    if not real_user_prices or not vanilla_prices:
+        raise EmptyDatasetError("the waterfall baseline produced no clearing prices")
+    return PriceComparison(
+        hb=whisker_stats(hb_prices),
+        waterfall_real_user=whisker_stats(real_user_prices),
+        waterfall_vanilla=whisker_stats(vanilla_prices),
+    )

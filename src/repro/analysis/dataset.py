@@ -1,0 +1,162 @@
+"""The crawled dataset container.
+
+A :class:`CrawlDataset` wraps the detections a crawl produced (one
+:class:`~repro.detector.records.SiteDetection` per page visit) and provides
+the slicing the figure computations need: HB sites only, one record per site,
+all auctions, all bids, grouping by facet / partner / rank, and the Table-1
+style summary counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.detector.records import ObservedAuction, ObservedBid, SiteDetection
+from repro.errors import EmptyDatasetError
+from repro.models import HBFacet
+
+__all__ = ["CrawlDataset"]
+
+
+@dataclass
+class CrawlDataset:
+    """All detections gathered during a measurement campaign."""
+
+    detections: list[SiteDetection] = field(default_factory=list)
+    #: Number of distinct crawl days represented (Table 1 reports 5 weeks).
+    label: str = "crawl"
+
+    # -- construction ----------------------------------------------------------
+    @classmethod
+    def from_detections(cls, detections: Iterable[SiteDetection], *, label: str = "crawl") -> "CrawlDataset":
+        return cls(detections=list(detections), label=label)
+
+    def extend(self, detections: Iterable[SiteDetection]) -> None:
+        self.detections.extend(detections)
+
+    # -- basic protocol ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.detections)
+
+    def __iter__(self) -> Iterator[SiteDetection]:
+        return iter(self.detections)
+
+    def _require_non_empty(self) -> None:
+        if not self.detections:
+            raise EmptyDatasetError("the crawl dataset is empty")
+
+    # -- views -------------------------------------------------------------------
+    def hb_detections(self) -> list[SiteDetection]:
+        """Every page visit on which HB was detected."""
+        return [d for d in self.detections if d.hb_detected]
+
+    def sites(self) -> list[SiteDetection]:
+        """One record per distinct domain (the first visit wins).
+
+        Per-site figures (partners per site, facet breakdown, adoption) must
+        not double-count sites that were re-crawled daily.
+        """
+        seen: dict[str, SiteDetection] = {}
+        for detection in self.detections:
+            seen.setdefault(detection.domain, detection)
+        return list(seen.values())
+
+    def hb_sites(self) -> list[SiteDetection]:
+        """One record per distinct domain on which HB was ever detected."""
+        seen: dict[str, SiteDetection] = {}
+        for detection in self.detections:
+            if detection.hb_detected:
+                seen.setdefault(detection.domain, detection)
+        return list(seen.values())
+
+    def auctions(self) -> list[ObservedAuction]:
+        """Every auction observed across all visits."""
+        return [auction for detection in self.hb_detections() for auction in detection.auctions]
+
+    def bids(self) -> list[ObservedBid]:
+        """Every bid observed across all visits."""
+        return [bid for auction in self.auctions() for bid in auction.bids]
+
+    def priced_bids(self) -> list[ObservedBid]:
+        return [bid for bid in self.bids() if bid.cpm is not None]
+
+    # -- groupers -----------------------------------------------------------------
+    def by_facet(self) -> dict[HBFacet, list[SiteDetection]]:
+        grouped: dict[HBFacet, list[SiteDetection]] = {facet: [] for facet in HBFacet}
+        for detection in self.hb_sites():
+            assert detection.facet is not None
+            grouped[detection.facet].append(detection)
+        return grouped
+
+    def auctions_by_facet(self) -> dict[HBFacet, list[ObservedAuction]]:
+        grouped: dict[HBFacet, list[ObservedAuction]] = {facet: [] for facet in HBFacet}
+        for auction in self.auctions():
+            grouped[auction.facet].append(auction)
+        return grouped
+
+    def bids_by_partner(self) -> dict[str, list[ObservedBid]]:
+        grouped: dict[str, list[ObservedBid]] = {}
+        for bid in self.bids():
+            grouped.setdefault(bid.partner, []).append(bid)
+        return grouped
+
+    def partner_site_counts(self) -> dict[str, int]:
+        """For each partner, on how many distinct HB sites it appears."""
+        counts: dict[str, int] = {}
+        for detection in self.hb_sites():
+            for partner in detection.partners:
+                counts[partner] = counts.get(partner, 0) + 1
+        return counts
+
+    def partner_popularity_ranking(self) -> list[str]:
+        """Partners ordered from most to least popular (by site count)."""
+        counts = self.partner_site_counts()
+        return [name for name, _ in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))]
+
+    def partner_latency_samples(self) -> dict[str, list[float]]:
+        """Per-partner round-trip latency samples across all visits."""
+        samples: dict[str, list[float]] = {}
+        for detection in self.hb_detections():
+            for partner, latency in detection.partner_latencies_ms.items():
+                samples.setdefault(partner, []).append(float(latency))
+        return samples
+
+    def site_latencies(self) -> dict[str, list[float]]:
+        """Per-domain total HB latency samples across all visits."""
+        samples: dict[str, list[float]] = {}
+        for detection in self.hb_detections():
+            if detection.total_latency_ms is not None:
+                samples.setdefault(detection.domain, []).append(detection.total_latency_ms)
+        return samples
+
+    def crawl_days(self) -> tuple[int, ...]:
+        return tuple(sorted({detection.crawl_day for detection in self.detections}))
+
+    # -- summary -------------------------------------------------------------------
+    def summary(self) -> dict[str, int | float]:
+        """The Table-1 style crawl summary."""
+        self._require_non_empty()
+        sites = self.sites()
+        hb_sites = self.hb_sites()
+        all_bids = self.bids()
+        partners = {partner for detection in hb_sites for partner in detection.partners}
+        days = self.crawl_days()
+        return {
+            "websites_crawled": len(sites),
+            "websites_with_hb": len(hb_sites),
+            "adoption_rate": len(hb_sites) / len(sites) if sites else 0.0,
+            "auctions_detected": len(self.auctions()),
+            "bids_detected": len(all_bids),
+            "competing_demand_partners": len(partners),
+            "crawl_days": len(days),
+            "crawl_weeks": max(1, round(len(days) / 7)) if days else 0,
+            "page_visits": len(self.detections),
+        }
+
+    def filter(self, predicate: Callable[[SiteDetection], bool], *, label: str | None = None) -> "CrawlDataset":
+        """A new dataset restricted to detections matching ``predicate``."""
+        return CrawlDataset(
+            detections=[d for d in self.detections if predicate(d)],
+            label=label or self.label,
+        )

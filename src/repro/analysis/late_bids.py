@@ -1,0 +1,93 @@
+"""Late-bid analysis (§5.2, Figures 17-18).
+
+A bid is *late* when it reaches the browser after the wrapper has already
+called the ad server; late bids are pure waste — network traffic and partner
+compute spent on offers that can no longer win.  The paper quantifies them per
+auction (Figure 17) and per demand partner (Figure 18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.dataset import CrawlDataset
+from repro.analysis.stats import Ecdf, ecdf
+from repro.errors import EmptyDatasetError
+
+__all__ = ["PartnerLateness", "late_bid_ecdf", "late_bids_per_partner", "late_bid_share_distribution"]
+
+
+def late_bid_ecdf(dataset: CrawlDataset, *, only_auctions_with_late_bids: bool = True) -> Ecdf:
+    """Figure 17: ECDF of the share of late bids per auction.
+
+    The paper plots the distribution over auctions that had at least one late
+    bid; set ``only_auctions_with_late_bids=False`` to include all auctions
+    that received bids.
+    """
+    fractions = []
+    for auction in dataset.auctions():
+        fraction = auction.late_bid_fraction
+        if fraction is None:
+            continue
+        if only_auctions_with_late_bids and fraction == 0.0:
+            continue
+        fractions.append(fraction * 100.0)
+    if not fractions:
+        raise EmptyDatasetError("no auctions with late bids in the dataset")
+    return ecdf(fractions)
+
+
+@dataclass(frozen=True)
+class PartnerLateness:
+    """Share of one partner's bids that arrived too late."""
+
+    partner: str
+    bids: int
+    late_bids: int
+
+    @property
+    def late_share(self) -> float:
+        return self.late_bids / self.bids if self.bids else 0.0
+
+
+def late_bids_per_partner(dataset: CrawlDataset, *, min_bids: int = 3) -> list[PartnerLateness]:
+    """Figure 18: percentage of late bids per demand partner, worst first."""
+    grouped = dataset.bids_by_partner()
+    rows = []
+    for partner, bids in grouped.items():
+        if len(bids) < min_bids:
+            continue
+        late = sum(1 for bid in bids if bid.late)
+        rows.append(PartnerLateness(partner=partner, bids=len(bids), late_bids=late))
+    if not rows:
+        raise EmptyDatasetError("no partner bids in the dataset")
+    rows.sort(key=lambda row: (-row.late_share, row.partner))
+    return rows
+
+
+def late_bid_share_distribution(dataset: CrawlDataset) -> dict[str, float]:
+    """Headline late-bid statistics quoted in §5.2 / §7.3."""
+    counts = {"auctions_with_bids": 0, "auctions_with_late_bids": 0}
+    late_counts = []
+    for auction in dataset.auctions():
+        if not auction.bids:
+            continue
+        counts["auctions_with_bids"] += 1
+        n_late = len(auction.late_bids)
+        if n_late:
+            counts["auctions_with_late_bids"] += 1
+            late_counts.append(n_late)
+    if counts["auctions_with_bids"] == 0:
+        raise EmptyDatasetError("no auctions with bids in the dataset")
+    summary: dict[str, float] = {
+        "share_of_auctions_with_late_bids": (
+            counts["auctions_with_late_bids"] / counts["auctions_with_bids"]
+        ),
+    }
+    if late_counts:
+        for threshold in (1, 2, 4):
+            summary[f"share_with_at_least_{threshold}_late"] = sum(
+                1 for count in late_counts if count >= threshold
+            ) / len(late_counts)
+    return summary

@@ -1,0 +1,100 @@
+"""Demand-partner market analysis (§5.1, Figures 8-11).
+
+Four questions are answered here, matching the paper's subsection headings:
+who dominates the market (Figure 8), how many partners a site typically uses
+(Figure 9), which partners are combined together (Figure 10), and which
+partners participate in each HB facet (Figure 11).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.analysis.dataset import CrawlDataset
+from repro.analysis.stats import Ecdf, ecdf
+from repro.errors import EmptyDatasetError
+from repro.models import HBFacet
+
+__all__ = [
+    "PartnerPopularity",
+    "partner_popularity",
+    "partners_per_site_ecdf",
+    "partner_combinations",
+    "partners_per_facet",
+]
+
+
+@dataclass(frozen=True)
+class PartnerPopularity:
+    """One row of the Figure-8 popularity ranking."""
+
+    partner: str
+    sites: int
+    share_of_hb_sites: float
+
+
+def partner_popularity(dataset: CrawlDataset, *, top_n: int | None = None) -> list[PartnerPopularity]:
+    """Figure 8: share of HB websites each demand partner appears on."""
+    hb_sites = dataset.hb_sites()
+    if not hb_sites:
+        raise EmptyDatasetError("no HB sites in the dataset")
+    counts = dataset.partner_site_counts()
+    rows = [
+        PartnerPopularity(partner=name, sites=count, share_of_hb_sites=count / len(hb_sites))
+        for name, count in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    ]
+    return rows[:top_n] if top_n is not None else rows
+
+
+def partners_per_site_ecdf(dataset: CrawlDataset) -> Ecdf:
+    """Figure 9: ECDF of the number of demand partners per HB website."""
+    hb_sites = dataset.hb_sites()
+    if not hb_sites:
+        raise EmptyDatasetError("no HB sites in the dataset")
+    return ecdf([float(site.n_partners) for site in hb_sites])
+
+
+def partner_combinations(dataset: CrawlDataset, *, top_n: int = 15) -> list[tuple[tuple[str, ...], float]]:
+    """Figure 10: the most frequent sets of partners found together on a site.
+
+    Returns ``(sorted partner tuple, share of HB sites)`` rows, most frequent
+    first.  Single-partner "combinations" are included, which is how the paper
+    reports DFP alone covering ~48% of sites.
+    """
+    hb_sites = dataset.hb_sites()
+    if not hb_sites:
+        raise EmptyDatasetError("no HB sites in the dataset")
+    counter: Counter[tuple[str, ...]] = Counter()
+    for site in hb_sites:
+        combination = tuple(sorted(site.partners))
+        if combination:
+            counter[combination] += 1
+    total = len(hb_sites)
+    rows = [(combination, count / total) for combination, count in counter.most_common(top_n)]
+    return rows
+
+
+def partners_per_facet(
+    dataset: CrawlDataset,
+    *,
+    top_n: int = 10,
+) -> dict[HBFacet, list[tuple[str, float]]]:
+    """Figure 11: top partners per facet by share of observed bids."""
+    grouped = dataset.auctions_by_facet()
+    result: dict[HBFacet, list[tuple[str, float]]] = {}
+    for facet, auctions in grouped.items():
+        counter: Counter[str] = Counter()
+        total = 0
+        for auction in auctions:
+            for bid in auction.bids:
+                counter[bid.partner] += 1
+                total += 1
+        if total == 0:
+            result[facet] = []
+            continue
+        result[facet] = [
+            (partner, count / total) for partner, count in counter.most_common(top_n)
+        ]
+    return result

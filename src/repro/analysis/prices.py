@@ -1,0 +1,86 @@
+"""Bid-price analysis (§5.4, Figures 22-24).
+
+Prices are the CPMs demand partners bid for the crawler's vanilla profile —
+baseline prices, much lower than what a targeted real user would fetch.  The
+paper compares them across facets, across creative sizes and against the
+partners' popularity.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Mapping
+
+from repro.analysis.dataset import CrawlDataset
+from repro.analysis.stats import Ecdf, WhiskerStats, ecdf, whisker_stats
+from repro.errors import EmptyDatasetError
+from repro.models import HBFacet, parse_size
+
+__all__ = ["price_ecdf_by_facet", "price_by_size", "price_by_popularity_rank"]
+
+
+def price_ecdf_by_facet(dataset: CrawlDataset, *, max_cpm: float | None = None) -> dict[HBFacet, Ecdf]:
+    """Figure 22: CDF of observed bid prices (CPM) per HB facet.
+
+    ``max_cpm`` truncates extreme outliers the same way the paper's plot caps
+    its x-axis; ``None`` keeps everything.
+    """
+    grouped: dict[HBFacet, list[float]] = {facet: [] for facet in HBFacet}
+    for auction in dataset.auctions():
+        for bid in auction.bids:
+            if bid.cpm is None or bid.cpm <= 0:
+                continue
+            if max_cpm is not None and bid.cpm > max_cpm:
+                continue
+            grouped[auction.facet].append(bid.cpm)
+    result = {facet: ecdf(values) for facet, values in grouped.items() if values}
+    if not result:
+        raise EmptyDatasetError("no priced bids in the dataset")
+    return result
+
+
+def price_by_size(dataset: CrawlDataset, *, min_bids: int = 5) -> list[tuple[str, WhiskerStats]]:
+    """Figure 23: bid price distribution per creative size, sorted by ad area."""
+    grouped: dict[str, list[float]] = defaultdict(list)
+    for bid in dataset.priced_bids():
+        if bid.size is None or bid.cpm is None or bid.cpm <= 0:
+            continue
+        grouped[bid.size].append(float(bid.cpm))
+    rows = []
+    for size_label, values in grouped.items():
+        if len(values) < min_bids:
+            continue
+        rows.append((size_label, whisker_stats(values)))
+    if not rows:
+        raise EmptyDatasetError("no priced bids with sizes in the dataset")
+
+    def area_of(label: str) -> int:
+        try:
+            return parse_size(label).area
+        except ValueError:
+            return 0
+
+    rows.sort(key=lambda row: -area_of(row[0]))
+    return rows
+
+
+def price_by_popularity_rank(dataset: CrawlDataset, *, bin_size: int = 10) -> list[tuple[str, WhiskerStats]]:
+    """Figure 24: bid prices grouped by the bidding partner's popularity rank."""
+    if bin_size < 1:
+        raise ValueError("bin size must be positive")
+    ranking = dataset.partner_popularity_ranking()
+    rank_of = {name: index + 1 for index, name in enumerate(ranking)}
+    grouped: dict[int, list[float]] = defaultdict(list)
+    for bid in dataset.priced_bids():
+        rank = rank_of.get(bid.partner)
+        if rank is None or bid.cpm is None or bid.cpm <= 0:
+            continue
+        grouped[(rank - 1) // bin_size].append(float(bid.cpm))
+    if not grouped:
+        raise EmptyDatasetError("no priced bids in the dataset")
+    rows = []
+    for bin_index in sorted(grouped):
+        low = bin_index * bin_size + 1
+        high = (bin_index + 1) * bin_size
+        rows.append((f"{low}-{high}", whisker_stats(grouped[bin_index])))
+    return rows

@@ -1,0 +1,90 @@
+"""Plain-text rendering of analysis results.
+
+The benchmarks and examples print the reproduced tables and figure series in
+a stable, aligned text format so a reader can compare them against the paper
+side by side without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.analysis.stats import Ecdf, WhiskerStats
+
+__all__ = ["format_table", "format_summary", "format_whisker_rows", "format_ecdf", "format_share_rows"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], *, title: str | None = None) -> str:
+    """Render rows as an aligned text table."""
+    materialised = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[index]) for index, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[index] for index in range(len(headers))))
+    for row in materialised:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_summary(summary: Mapping[str, object], *, title: str | None = None) -> str:
+    """Render a flat key/value summary (Table 1 style)."""
+    rows = [(key, value) for key, value in summary.items()]
+    return format_table(["metric", "value"], rows, title=title)
+
+
+def format_whisker_rows(
+    rows: Iterable[tuple[object, WhiskerStats]],
+    *,
+    label_header: str = "group",
+    unit: str = "ms",
+    title: str | None = None,
+) -> str:
+    """Render (label, whisker stats) rows the way the paper's box plots read."""
+    table_rows = [
+        (
+            label,
+            round(stats.p5, 3),
+            round(stats.p25, 3),
+            round(stats.median, 3),
+            round(stats.p75, 3),
+            round(stats.p95, 3),
+            stats.n,
+        )
+        for label, stats in rows
+    ]
+    headers = [label_header, f"p5 ({unit})", f"p25 ({unit})", f"median ({unit})",
+               f"p75 ({unit})", f"p95 ({unit})", "n"]
+    return format_table(headers, table_rows, title=title)
+
+
+def format_ecdf(ecdf_obj: Ecdf, *, quantiles: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9, 0.95),
+                unit: str = "", title: str | None = None) -> str:
+    """Render a few quantiles of an ECDF as a compact table."""
+    rows = [(f"p{int(q * 100)}", round(ecdf_obj.quantile(q), 4)) for q in quantiles]
+    headers = ["quantile", f"value {unit}".strip()]
+    return format_table(headers, rows, title=title)
+
+
+def format_share_rows(rows: Iterable[tuple[object, float]], *, label_header: str = "item",
+                      title: str | None = None) -> str:
+    """Render (label, share) rows as percentages."""
+    table_rows = [(label, f"{share * 100:.2f}%") for label, share in rows]
+    return format_table([label_header, "share"], table_rows, title=title)

@@ -1,0 +1,139 @@
+"""Statistical primitives used throughout the analysis.
+
+The paper reports its results as ECDF curves, medians and box/whisker plots
+with 5th/25th/75th/95th percentiles.  These helpers compute exactly those
+summaries from plain sequences of numbers, with explicit handling of empty
+input (an :class:`~repro.errors.EmptyDatasetError` instead of silent NaNs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import EmptyDatasetError
+
+__all__ = ["Ecdf", "WhiskerStats", "ecdf", "percentile", "whisker_stats", "histogram_shares"]
+
+
+@dataclass(frozen=True)
+class Ecdf:
+    """An empirical cumulative distribution function.
+
+    ``values`` are the sorted observations and ``probabilities`` the
+    corresponding cumulative probabilities P(X <= value).
+    """
+
+    values: tuple[float, ...]
+    probabilities: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.values) != len(self.probabilities):
+            raise ValueError("values and probabilities must have the same length")
+        if not self.values:
+            raise EmptyDatasetError("cannot build an ECDF from no observations")
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    def quantile(self, q: float) -> float:
+        """The smallest value whose cumulative probability is >= ``q``."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        probabilities = np.asarray(self.probabilities)
+        index = int(np.searchsorted(probabilities, q, side="left"))
+        index = min(index, len(self.values) - 1)
+        return self.values[index]
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def fraction_at_most(self, threshold: float) -> float:
+        """P(X <= threshold)."""
+        values = np.asarray(self.values)
+        count = int(np.searchsorted(values, threshold, side="right"))
+        return count / self.n
+
+    def fraction_above(self, threshold: float) -> float:
+        """P(X > threshold)."""
+        return 1.0 - self.fraction_at_most(threshold)
+
+
+@dataclass(frozen=True)
+class WhiskerStats:
+    """Box/whisker summary: 5th, 25th, 50th, 75th and 95th percentiles."""
+
+    p5: float
+    p25: float
+    median: float
+    p75: float
+    p95: float
+    n: int
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "p5": self.p5,
+            "p25": self.p25,
+            "median": self.median,
+            "p75": self.p75,
+            "p95": self.p95,
+            "n": float(self.n),
+        }
+
+    @property
+    def interquartile_range(self) -> float:
+        return self.p75 - self.p25
+
+    @property
+    def spread(self) -> float:
+        """Whisker span (95th - 5th percentile), the paper's variability proxy."""
+        return self.p95 - self.p5
+
+
+def _as_array(values: Iterable[float], what: str) -> np.ndarray:
+    array = np.asarray([float(v) for v in values], dtype=float)
+    if array.size == 0:
+        raise EmptyDatasetError(f"cannot compute {what} of an empty sequence")
+    if np.isnan(array).any():
+        raise ValueError(f"{what} input contains NaN")
+    return array
+
+
+def ecdf(values: Iterable[float]) -> Ecdf:
+    """Build the ECDF of a sequence of observations."""
+    array = np.sort(_as_array(values, "an ECDF"))
+    probabilities = np.arange(1, array.size + 1, dtype=float) / array.size
+    return Ecdf(values=tuple(array.tolist()), probabilities=tuple(probabilities.tolist()))
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """The ``q``-th percentile (q in [0, 100]) of a sequence."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("percentile must be in [0, 100]")
+    return float(np.percentile(_as_array(values, "a percentile"), q))
+
+
+def whisker_stats(values: Iterable[float]) -> WhiskerStats:
+    """The box/whisker summary used by the paper's latency and price plots."""
+    array = _as_array(values, "whisker statistics")
+    p5, p25, p50, p75, p95 = np.percentile(array, [5, 25, 50, 75, 95])
+    return WhiskerStats(
+        p5=float(p5), p25=float(p25), median=float(p50), p75=float(p75), p95=float(p95),
+        n=int(array.size),
+    )
+
+
+def histogram_shares(labels: Iterable[str]) -> dict[str, float]:
+    """Share of each distinct label in a sequence (sums to 1)."""
+    counts: dict[str, int] = {}
+    total = 0
+    for label in labels:
+        counts[label] = counts.get(label, 0) + 1
+        total += 1
+    if total == 0:
+        raise EmptyDatasetError("cannot compute shares of an empty sequence")
+    return {label: count / total for label, count in sorted(counts.items(), key=lambda kv: -kv[1])}

@@ -1,0 +1,26 @@
+"""Simulated browser substrate.
+
+The browser is the vantage point of the whole study: HBDetector only ever sees
+what a browser extension can see — DOM events and web requests.  This package
+provides a deterministic, instrumentable stand-in for Chrome: a simulated
+clock, a DOM event bus, a web-request log, a page model and the page-load
+engine that executes header-bidding wrappers.
+"""
+
+from repro.browser.clock import SimulatedClock
+from repro.browser.dom import DomEventBus
+from repro.browser.webrequest import WebRequestLog
+from repro.browser.page import Page, build_page
+from repro.browser.context import BrowserContext
+from repro.browser.engine import BrowserEngine, PageLoadResult
+
+__all__ = [
+    "SimulatedClock",
+    "DomEventBus",
+    "WebRequestLog",
+    "Page",
+    "build_page",
+    "BrowserContext",
+    "BrowserEngine",
+    "PageLoadResult",
+]

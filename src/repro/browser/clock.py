@@ -1,0 +1,46 @@
+"""Simulated monotonic clock.
+
+All timestamps in the simulation are milliseconds since navigation start of
+the current page load.  Components never read wall-clock time; they advance
+and query a shared :class:`SimulatedClock`, which keeps every run perfectly
+reproducible and lets tests assert exact timings.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimulatedClock"]
+
+
+class SimulatedClock:
+    """A monotonically non-decreasing millisecond clock."""
+
+    def __init__(self, start_ms: float = 0.0) -> None:
+        if start_ms < 0:
+            raise ValueError("clock cannot start before zero")
+        self._now_ms = float(start_ms)
+
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now_ms
+
+    def advance(self, delta_ms: float) -> float:
+        """Move time forward by ``delta_ms`` and return the new time."""
+        if delta_ms < 0:
+            raise ValueError("the simulated clock cannot move backwards")
+        self._now_ms += float(delta_ms)
+        return self._now_ms
+
+    def advance_to(self, timestamp_ms: float) -> float:
+        """Move time forward to an absolute timestamp (no-op if in the past)."""
+        if timestamp_ms > self._now_ms:
+            self._now_ms = float(timestamp_ms)
+        return self._now_ms
+
+    def reset(self, start_ms: float = 0.0) -> None:
+        """Reset the clock for a fresh navigation."""
+        if start_ms < 0:
+            raise ValueError("clock cannot reset before zero")
+        self._now_ms = float(start_ms)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimulatedClock(now={self._now_ms:.1f}ms)"

@@ -1,0 +1,98 @@
+"""Web-request log.
+
+The second observation channel of HBDetector is the browser's web-request
+interface (``chrome.webRequest`` in the real extension): every outgoing
+request and incoming response a page triggers, with URL, method and
+parameters, but without the ability to modify them.  The log below records
+both directions with simulated timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.browser.clock import SimulatedClock
+from repro.models import RequestDirection, WebRequest
+from repro.utils.urls import build_url, parse_query
+
+__all__ = ["WebRequestLog"]
+
+
+class WebRequestLog:
+    """Ordered, append-only record of page network activity."""
+
+    def __init__(self, clock: SimulatedClock) -> None:
+        self._clock = clock
+        self._requests: list[WebRequest] = []
+
+    # -- recording -------------------------------------------------------------
+    def record_outgoing(self, url: str, *, method: str = "GET",
+                        params: Mapping[str, object] | None = None,
+                        initiator: str = "", timestamp_ms: float | None = None) -> WebRequest:
+        """Record a request leaving the browser.
+
+        ``params`` holds POST body fields for bid requests; query-string
+        parameters are parsed out of the URL automatically so the detector can
+        treat both uniformly.
+        """
+        merged: dict[str, str] = parse_query(url)
+        merged.update({key: str(value) for key, value in (params or {}).items()})
+        request = WebRequest(
+            url=url,
+            method=method.upper(),
+            direction=RequestDirection.OUTGOING,
+            timestamp_ms=self._clock.now() if timestamp_ms is None else timestamp_ms,
+            initiator=initiator,
+            params=merged,
+        )
+        self._requests.append(request)
+        return request
+
+    def record_incoming(self, url: str, *, params: Mapping[str, object] | None = None,
+                        status_code: int = 200, initiator: str = "",
+                        timestamp_ms: float | None = None) -> WebRequest:
+        """Record a response (or server push) arriving at the browser."""
+        merged: dict[str, str] = parse_query(url)
+        merged.update({key: str(value) for key, value in (params or {}).items()})
+        request = WebRequest(
+            url=url,
+            method="RESPONSE",
+            direction=RequestDirection.INCOMING,
+            timestamp_ms=self._clock.now() if timestamp_ms is None else timestamp_ms,
+            initiator=initiator,
+            params=merged,
+            status_code=status_code,
+        )
+        self._requests.append(request)
+        return request
+
+    def record_fetch(self, host: str, path: str, *, params: Mapping[str, object] | None = None,
+                     method: str = "GET", initiator: str = "") -> WebRequest:
+        """Convenience wrapper building the URL and recording it as outgoing."""
+        return self.record_outgoing(build_url(host, path, params), method=method,
+                                    initiator=initiator)
+
+    # -- inspection -------------------------------------------------------------
+    @property
+    def requests(self) -> tuple[WebRequest, ...]:
+        return tuple(self._requests)
+
+    def outgoing(self) -> tuple[WebRequest, ...]:
+        return tuple(r for r in self._requests if r.direction is RequestDirection.OUTGOING)
+
+    def incoming(self) -> tuple[WebRequest, ...]:
+        return tuple(r for r in self._requests if r.direction is RequestDirection.INCOMING)
+
+    def to_hosts(self, domains: Iterable[str]) -> tuple[WebRequest, ...]:
+        """Requests whose host matches any of the given domains."""
+        domains = tuple(domains)
+        return tuple(r for r in self._requests if r.matches_host(domains))
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def __iter__(self) -> Iterator[WebRequest]:
+        return iter(self._requests)
+
+    def clear(self) -> None:
+        self._requests.clear()

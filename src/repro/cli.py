@@ -1,0 +1,110 @@
+"""Command-line interface.
+
+``hbrepro`` runs a scaled-down reproduction end to end and prints the
+requested artefacts, which is the quickest way to see the pipeline working::
+
+    hbrepro run --sites 2000 --days 1 --figures table1 adoption fig12 facet
+    hbrepro historical --sites 400
+    hbrepro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments import figures, tables
+
+__all__ = ["main", "build_parser"]
+
+
+def _artifact_registry() -> dict[str, Callable]:
+    """Name → function producing a printable artefact from run artifacts."""
+    return {
+        "table1": tables.table1_summary,
+        "adoption": tables.adoption_by_rank,
+        "accuracy": tables.detector_accuracy,
+        "facet": figures.facet_breakdown_result,
+        "fig08": figures.figure08_top_partners,
+        "fig09": figures.figure09_partners_per_site,
+        "fig10": figures.figure10_partner_combinations,
+        "fig11": figures.figure11_partners_per_facet,
+        "fig12": figures.figure12_latency_ecdf,
+        "fig13": figures.figure13_latency_vs_rank,
+        "fig14": figures.figure14_partner_latency,
+        "fig15": figures.figure15_latency_vs_partner_count,
+        "fig16": figures.figure16_latency_vs_popularity,
+        "fig17": figures.figure17_late_bids_ecdf,
+        "fig18": figures.figure18_late_bids_per_partner,
+        "fig19": figures.figure19_adslots_ecdf,
+        "fig20": figures.figure20_latency_vs_adslots,
+        "fig21": figures.figure21_adslot_sizes,
+        "fig22": figures.figure22_price_cdf,
+        "fig23": figures.figure23_price_per_size,
+        "fig24": figures.figure24_price_vs_popularity,
+        "waterfall": figures.waterfall_latency_comparison,
+        "prices": figures.waterfall_price_comparison,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hbrepro",
+        description="Reproduce the IMC 2019 Header Bidding measurement study on a simulated Web.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a crawl and print selected artefacts")
+    run.add_argument("--sites", type=int, default=2_000, help="number of simulated websites")
+    run.add_argument("--days", type=int, default=1, help="number of daily re-crawls")
+    run.add_argument("--seed", type=int, default=2019, help="random seed")
+    run.add_argument(
+        "--figures",
+        nargs="+",
+        default=["table1", "adoption", "facet", "fig12"],
+        choices=sorted(_artifact_registry()),
+        help="which artefacts to print",
+    )
+
+    historical = sub.add_parser("historical", help="run the Figure 4 historical adoption study")
+    historical.add_argument("--sites", type=int, default=500, help="sites per yearly top list")
+    historical.add_argument("--seed", type=int, default=2019, help="random seed")
+
+    sub.add_parser("list", help="list every artefact the run command can print")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    registry = _artifact_registry()
+
+    if args.command == "list":
+        for name in sorted(registry):
+            print(name)
+        return 0
+
+    if args.command == "historical":
+        config = ExperimentConfig(
+            total_sites=max(400, args.sites),
+            seed=args.seed,
+            historical_sites=args.sites,
+        )
+        historical = ExperimentRunner(config).run_historical()
+        print(figures.figure04_adoption_history(historical)["text"])
+        return 0
+
+    config = ExperimentConfig(total_sites=args.sites, recrawl_days=args.days, seed=args.seed)
+    artifacts = ExperimentRunner(config).run()
+    for name in args.figures:
+        result = registry[name](artifacts)
+        print(result["text"])
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    sys.exit(main())

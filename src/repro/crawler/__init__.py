@@ -1,0 +1,27 @@
+"""Crawling infrastructure.
+
+The paper drives Chrome (with HBDetector loaded) through Selenium: a fresh,
+stateless browser instance per page, a 60-second page-load timeout, a
+five-second dwell after the load event, a one-shot crawl of the top-35k list
+followed by a 34-day daily re-crawl of the HB-enabled sites, and a separate
+static crawl of Wayback snapshots for the historical adoption figure.  This
+package reproduces that pipeline on top of the simulated Web.
+"""
+
+from repro.crawler.session import CrawlSession
+from repro.crawler.crawler import Crawler, CrawlConfig, CrawlResult
+from repro.crawler.scheduler import LongitudinalScheduler, LongitudinalCrawl
+from repro.crawler.historical import HistoricalCrawler, HistoricalAdoption
+from repro.crawler.storage import CrawlStorage
+
+__all__ = [
+    "CrawlSession",
+    "Crawler",
+    "CrawlConfig",
+    "CrawlResult",
+    "LongitudinalScheduler",
+    "LongitudinalCrawl",
+    "HistoricalCrawler",
+    "HistoricalAdoption",
+    "CrawlStorage",
+]

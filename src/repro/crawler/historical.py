@@ -1,0 +1,112 @@
+"""Historical adoption crawling (Figure 4).
+
+Archived pages cannot be reliably *rendered* — their scripts are stale, their
+third parties long gone — so the paper measures historical HB adoption by
+statically analysing Wayback-Machine snapshots of the yearly top-1k lists.
+The :class:`HistoricalCrawler` drives the static analyser over a
+:class:`~repro.ecosystem.wayback.SnapshotArchive` and reports per-year
+adoption, together with accuracy bookkeeping the reproduction can compute
+because it (unlike the paper) knows the archived ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.detector.static_analysis import StaticAnalyzer, StaticDetection
+from repro.ecosystem.wayback import SnapshotArchive
+from repro.errors import CrawlError
+
+__all__ = ["YearlyAdoption", "HistoricalAdoption", "HistoricalCrawler"]
+
+
+@dataclass(frozen=True)
+class YearlyAdoption:
+    """Static-analysis adoption result for one year."""
+
+    year: int
+    sites_analyzed: int
+    sites_with_hb: int
+    detections: tuple[StaticDetection, ...] = ()
+    #: Accuracy against archived ground truth (only available in simulation).
+    true_positives: int = 0
+    false_positives: int = 0
+    false_negatives: int = 0
+
+    @property
+    def adoption_rate(self) -> float:
+        if self.sites_analyzed == 0:
+            return 0.0
+        return self.sites_with_hb / self.sites_analyzed
+
+    @property
+    def precision(self) -> float:
+        detected = self.true_positives + self.false_positives
+        return self.true_positives / detected if detected else 1.0
+
+    @property
+    def recall(self) -> float:
+        actual = self.true_positives + self.false_negatives
+        return self.true_positives / actual if actual else 1.0
+
+
+@dataclass
+class HistoricalAdoption:
+    """Adoption results for every analysed year."""
+
+    by_year: dict[int, YearlyAdoption] = field(default_factory=dict)
+
+    @property
+    def years(self) -> tuple[int, ...]:
+        return tuple(sorted(self.by_year))
+
+    def adoption_series(self) -> dict[int, float]:
+        """Year → detected adoption rate (the Figure 4 series)."""
+        return {year: self.by_year[year].adoption_rate for year in self.years}
+
+
+class HistoricalCrawler:
+    """Runs static analysis over archived snapshots, year by year."""
+
+    def __init__(self, archive: SnapshotArchive, analyzer: StaticAnalyzer | None = None) -> None:
+        self.archive = archive
+        self.analyzer = analyzer or StaticAnalyzer()
+
+    def crawl_year(self, year: int, *, keep_detections: bool = False) -> YearlyAdoption:
+        """Statically analyse every archived snapshot of one year."""
+        if year not in self.archive.top_lists:
+            raise CrawlError(f"no snapshots archived for year {year}")
+        snapshots = self.archive.snapshots_for(year)
+        detections: list[StaticDetection] = []
+        hits = 0
+        tp = fp = fn = 0
+        for snapshot in snapshots:
+            detection = self.analyzer.analyze(snapshot.domain, snapshot.html)
+            if keep_detections:
+                detections.append(detection)
+            if detection.hb_detected:
+                hits += 1
+                if snapshot.uses_hb:
+                    tp += 1
+                else:
+                    fp += 1
+            elif snapshot.uses_hb:
+                fn += 1
+        return YearlyAdoption(
+            year=year,
+            sites_analyzed=len(snapshots),
+            sites_with_hb=hits,
+            detections=tuple(detections),
+            true_positives=tp,
+            false_positives=fp,
+            false_negatives=fn,
+        )
+
+    def crawl(self, years: Sequence[int] | None = None, *, keep_detections: bool = False) -> HistoricalAdoption:
+        """Analyse all (or the given) archived years."""
+        chosen = tuple(years) if years is not None else self.archive.years
+        result = HistoricalAdoption()
+        for year in chosen:
+            result.by_year[year] = self.crawl_year(year, keep_detections=keep_detections)
+        return result

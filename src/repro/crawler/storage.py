@@ -1,0 +1,161 @@
+"""On-disk persistence of crawl datasets.
+
+Detections are stored as JSON Lines (one :class:`SiteDetection` per line),
+which keeps the files append-friendly during long crawls, diff-able in code
+review, and loadable without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.detector.records import ObservedAuction, ObservedBid, SiteDetection
+from repro.errors import StorageError
+from repro.models import HBFacet
+
+__all__ = ["CrawlStorage", "detection_to_dict", "detection_from_dict"]
+
+
+def detection_to_dict(detection: SiteDetection) -> dict:
+    """Serialise one detection to plain JSON-compatible data."""
+    return {
+        "domain": detection.domain,
+        "rank": detection.rank,
+        "hb_detected": detection.hb_detected,
+        "facet": detection.facet.value if detection.facet else None,
+        "library": detection.library,
+        "partners": list(detection.partners),
+        "partner_latencies_ms": dict(detection.partner_latencies_ms),
+        "total_latency_ms": detection.total_latency_ms,
+        "detection_channels": list(detection.detection_channels),
+        "crawl_day": detection.crawl_day,
+        "page_load_ms": detection.page_load_ms,
+        "auctions": [
+            {
+                "slot_code": auction.slot_code,
+                "size": auction.size,
+                "start_ms": auction.start_ms,
+                "end_ms": auction.end_ms,
+                "facet": auction.facet.value,
+                "bids": [
+                    {
+                        "partner": bid.partner,
+                        "bidder_code": bid.bidder_code,
+                        "slot_code": bid.slot_code,
+                        "cpm": bid.cpm,
+                        "size": bid.size,
+                        "latency_ms": bid.latency_ms,
+                        "late": bid.late,
+                        "won": bid.won,
+                        "source": bid.source,
+                    }
+                    for bid in auction.bids
+                ],
+            }
+            for auction in detection.auctions
+        ],
+    }
+
+
+def detection_from_dict(data: dict) -> SiteDetection:
+    """Rebuild a detection from its JSON form."""
+    try:
+        auctions = tuple(
+            ObservedAuction(
+                slot_code=auction["slot_code"],
+                size=auction.get("size"),
+                start_ms=float(auction["start_ms"]),
+                end_ms=float(auction["end_ms"]),
+                facet=HBFacet(auction["facet"]),
+                bids=tuple(
+                    ObservedBid(
+                        partner=bid["partner"],
+                        bidder_code=bid["bidder_code"],
+                        slot_code=bid["slot_code"],
+                        cpm=bid.get("cpm"),
+                        size=bid.get("size"),
+                        latency_ms=bid.get("latency_ms"),
+                        late=bool(bid.get("late", False)),
+                        won=bool(bid.get("won", False)),
+                        source=bid.get("source", "client"),
+                    )
+                    for bid in auction.get("bids", [])
+                ),
+            )
+            for auction in data.get("auctions", [])
+        )
+        return SiteDetection(
+            domain=data["domain"],
+            rank=int(data["rank"]),
+            hb_detected=bool(data["hb_detected"]),
+            facet=HBFacet(data["facet"]) if data.get("facet") else None,
+            library=data.get("library"),
+            partners=tuple(data.get("partners", [])),
+            auctions=auctions,
+            partner_latencies_ms=dict(data.get("partner_latencies_ms", {})),
+            total_latency_ms=data.get("total_latency_ms"),
+            detection_channels=tuple(data.get("detection_channels", [])),
+            crawl_day=int(data.get("crawl_day", 0)),
+            page_load_ms=data.get("page_load_ms"),
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise StorageError(f"malformed detection record: {exc}") from exc
+
+
+class CrawlStorage:
+    """Reads and writes JSON-Lines crawl datasets."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def save(self, detections: Iterable[SiteDetection]) -> int:
+        """Write detections to the file, replacing previous content."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        count = 0
+        try:
+            with self.path.open("w", encoding="utf-8") as handle:
+                for detection in detections:
+                    handle.write(json.dumps(detection_to_dict(detection)) + "\n")
+                    count += 1
+        except OSError as exc:
+            raise StorageError(f"could not write {self.path}: {exc}") from exc
+        return count
+
+    def append(self, detections: Iterable[SiteDetection]) -> int:
+        """Append detections (e.g. one crawl day) to the file."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        count = 0
+        try:
+            with self.path.open("a", encoding="utf-8") as handle:
+                for detection in detections:
+                    handle.write(json.dumps(detection_to_dict(detection)) + "\n")
+                    count += 1
+        except OSError as exc:
+            raise StorageError(f"could not append to {self.path}: {exc}") from exc
+        return count
+
+    def load(self) -> list[SiteDetection]:
+        """Load every detection stored in the file."""
+        return list(self.iter_load())
+
+    def iter_load(self) -> Iterator[SiteDetection]:
+        """Stream detections from the file one at a time."""
+        if not self.path.exists():
+            raise StorageError(f"crawl dataset not found: {self.path}")
+        try:
+            with self.path.open("r", encoding="utf-8") as handle:
+                for line_number, line in enumerate(handle, start=1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        data = json.loads(line)
+                    except json.JSONDecodeError as exc:
+                        raise StorageError(
+                            f"invalid JSON on line {line_number} of {self.path}: {exc}"
+                        ) from exc
+                    yield detection_from_dict(data)
+        except OSError as exc:
+            raise StorageError(f"could not read {self.path}: {exc}") from exc

@@ -1,0 +1,35 @@
+"""HBDetector — the paper's primary contribution.
+
+The detector observes exactly what a browser extension can observe — DOM
+events and web requests — and reconstructs the header-bidding activity of a
+page: whether HB is present, through which facet, which demand partners
+participate, the auctions and bids with their prices and sizes, the per-partner
+latencies and the late bids.
+
+Sub-modules:
+
+* :mod:`repro.detector.partner_list` — the curated list of known HB partners,
+* :mod:`repro.detector.parameters` — extraction of ``hb_*`` parameters,
+* :mod:`repro.detector.dom_inspector` — the content-script side (DOM events),
+* :mod:`repro.detector.webrequest_inspector` — the webRequest side,
+* :mod:`repro.detector.static_analysis` — static HTML analysis (historical),
+* :mod:`repro.detector.facets` — facet classification,
+* :mod:`repro.detector.records` — the detection output records,
+* :mod:`repro.detector.detector` — the combined :class:`HBDetector`.
+"""
+
+from repro.detector.partner_list import KnownPartnerList, build_known_partner_list
+from repro.detector.records import ObservedBid, ObservedAuction, SiteDetection
+from repro.detector.detector import HBDetector
+from repro.detector.static_analysis import StaticAnalyzer, StaticDetection
+
+__all__ = [
+    "KnownPartnerList",
+    "build_known_partner_list",
+    "ObservedBid",
+    "ObservedAuction",
+    "SiteDetection",
+    "HBDetector",
+    "StaticAnalyzer",
+    "StaticDetection",
+]

@@ -1,0 +1,83 @@
+"""Facet classification from observations.
+
+Once a page is known to run header bidding, the detector decides *which* of
+the three facets it uses, based purely on what the two observation channels
+showed (§4.2 of the paper):
+
+* **client-side** — the browser exchanged bids with demand partners and then
+  pushed ``hb_*`` key-values to an ad server that is *not* on the known
+  partner list (the publisher's own ad server);
+* **hybrid** — client-side bid exchanges are visible *and* the key-value push
+  went to a known partner's ad server (which then runs its own auction);
+* **server-side** — no client-side bid exchange is visible, but responses from
+  a known partner carry ``hb_*`` parameters (the whole auction ran in that
+  partner's backend).
+"""
+
+from __future__ import annotations
+
+from repro.detector.dom_inspector import DomObservations
+from repro.detector.webrequest_inspector import WebRequestObservations
+from repro.models import HBFacet
+
+__all__ = ["classify_facet"]
+
+
+def _has_client_side_bidding(dom: DomObservations, web: WebRequestObservations) -> bool:
+    """Did the browser itself exchange bids with demand partners?"""
+    if dom.bids:
+        return True
+    # Even without lifecycle events (gpt-style wrappers), several distinct
+    # partner exchanges initiated by the page before the ad-server push
+    # indicate client-side bid collection.
+    pre_push_exchanges = [
+        exchange
+        for exchange in web.exchanges
+        if exchange.request_at_ms is not None
+        and (
+            web.ad_server_push is None
+            or exchange.request_at_ms <= web.ad_server_push.timestamp_ms
+        )
+    ]
+    return len({exchange.partner for exchange in pre_push_exchanges}) >= 2
+
+
+def classify_facet(dom: DomObservations, web: WebRequestObservations) -> HBFacet | None:
+    """Classify the HB facet of a page, or ``None`` if HB cannot be confirmed.
+
+    The decision uses only observable signals; pages with no HB evidence at
+    all return ``None`` (the caller treats that as "no HB detected").
+    """
+    has_hb_evidence = (
+        dom.hb_events_seen
+        or web.ad_server_push is not None
+        or bool(web.hb_responses)
+    )
+    if not has_hb_evidence:
+        return None
+
+    client_side_bidding = _has_client_side_bidding(dom, web)
+
+    if client_side_bidding:
+        if web.ad_server_push is not None and web.ad_server_is_known_partner:
+            return HBFacet.HYBRID
+        if web.ad_server_push is not None:
+            return HBFacet.CLIENT_SIDE
+        # Bids are visible but no key-value push was caught: the conservative
+        # call is hybrid when a known partner later answered with hb_* values
+        # (its backend clearly participated), client-side otherwise.
+        if web.hb_responses:
+            return HBFacet.HYBRID
+        return HBFacet.CLIENT_SIDE
+
+    # No client-side bidding visible: server-side if a known partner's
+    # responses carry HB parameters.
+    if web.hb_responses:
+        return HBFacet.SERVER_SIDE
+    if web.ad_server_push is not None and web.ad_server_is_known_partner:
+        return HBFacet.SERVER_SIDE
+    if dom.hb_events_seen:
+        # Lifecycle events exist but no partner traffic was attributable: the
+        # page runs a wrapper against partners missing from the known list.
+        return HBFacet.CLIENT_SIDE
+    return None

@@ -1,0 +1,121 @@
+"""Known HB demand-partner list.
+
+The paper's authors combined several publisher-facing lists of header-bidding
+partners into one lookup table mapping bid-endpoint domains to company names.
+The detector uses it to decide whether a web request talks to an HB partner
+and to attribute observed activity to a named company.
+
+In the reproduction, the list is *derived* from an ecosystem partner registry
+but is a separate object on purpose: experiments can drop a fraction of
+partners from the list to study how incomplete knowledge degrades recall, the
+same limitation the paper discusses for libraries it did not analyse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+from repro.ecosystem.registry import PartnerRegistry, default_registry
+from repro.errors import ConfigurationError
+from repro.utils.rng import derive_rng
+
+__all__ = ["KnownPartnerList", "build_known_partner_list"]
+
+
+@dataclass(frozen=True)
+class _KnownPartner:
+    """One entry of the curated list."""
+
+    name: str
+    bidder_code: str
+    domains: tuple[str, ...]
+
+
+class KnownPartnerList:
+    """Domain → partner lookup used by the web-request inspector."""
+
+    def __init__(self, entries: Iterable[_KnownPartner]) -> None:
+        self._entries = tuple(entries)
+        if not self._entries:
+            raise ConfigurationError("the known-partner list cannot be empty")
+        self._by_domain: dict[str, _KnownPartner] = {}
+        self._by_bidder_code: dict[str, _KnownPartner] = {}
+        for entry in self._entries:
+            self._by_bidder_code[entry.bidder_code] = entry
+            for domain in entry.domains:
+                self._by_domain[domain.lower()] = entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[_KnownPartner]:
+        return iter(self._entries)
+
+    @property
+    def partner_names(self) -> tuple[str, ...]:
+        return tuple(entry.name for entry in self._entries)
+
+    @property
+    def domains(self) -> tuple[str, ...]:
+        return tuple(self._by_domain)
+
+    # -- lookups -------------------------------------------------------------
+    def match_host(self, host: str) -> str | None:
+        """Return the partner name owning ``host``, if any.
+
+        Subdomains match their parent domain, e.g. ``ib.adnxs.com`` matches the
+        ``adnxs.com`` entry.
+        """
+        host = host.lower()
+        if host in self._by_domain:
+            return self._by_domain[host].name
+        parts = host.split(".")
+        for start in range(1, len(parts) - 1):
+            candidate = ".".join(parts[start:])
+            if candidate in self._by_domain:
+                return self._by_domain[candidate].name
+        return None
+
+    def name_for_bidder_code(self, bidder_code: str) -> str | None:
+        """Resolve a wrapper-level bidder code (e.g. ``"appnexus"``) to a name."""
+        entry = self._by_bidder_code.get(bidder_code)
+        return entry.name if entry else None
+
+    def contains_partner(self, name: str) -> bool:
+        return any(entry.name == name for entry in self._entries)
+
+
+def build_known_partner_list(
+    registry: PartnerRegistry | None = None,
+    *,
+    coverage: float = 1.0,
+    seed: int = 0,
+) -> KnownPartnerList:
+    """Build the detector's known-partner list from a partner registry.
+
+    ``coverage`` < 1.0 drops a random fraction of partners, modelling an
+    out-of-date curated list; the most popular partners are always kept, as
+    real curated lists never miss the big players.
+    """
+    if not 0.0 < coverage <= 1.0:
+        raise ConfigurationError("coverage must be in (0, 1]")
+    registry = registry or default_registry()
+    partners = sorted(registry.partners, key=lambda p: p.popularity_weight, reverse=True)
+    keep = len(partners) if coverage >= 1.0 else max(1, int(round(len(partners) * coverage)))
+    always_kept = partners[: max(10, keep // 2)]
+    remaining = [p for p in partners if p not in always_kept]
+    if keep > len(always_kept) and remaining:
+        rng = derive_rng(seed, "known-partner-list", coverage)
+        extra_count = min(keep - len(always_kept), len(remaining))
+        indices = rng.choice(len(remaining), size=extra_count, replace=False)
+        chosen = always_kept + [remaining[int(i)] for i in np.atleast_1d(indices)]
+    else:
+        chosen = always_kept[:keep]
+    entries = [
+        _KnownPartner(name=p.name, bidder_code=p.bidder_code, domains=tuple(p.domains))
+        for p in chosen
+    ]
+    return KnownPartnerList(entries)

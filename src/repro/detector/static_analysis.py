@@ -1,0 +1,88 @@
+"""Static HTML analysis (detection method 1 of the paper).
+
+Static analysis scans the page source for script tags that load known
+header-bidding libraries.  The paper deliberately does *not* use this method
+for the live crawl because it is prone to both false positives (scripts whose
+names merely look HB-related, HB libraries present but never executed) and
+false negatives (renamed or not-yet-known libraries).  It is, however, the
+only method applicable to archived historical pages, which is how Figure 4's
+2014-2019 adoption series is produced.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["StaticDetection", "StaticAnalyzer", "DEFAULT_LIBRARY_PATTERNS"]
+
+
+#: Script-name patterns recognised as header-bidding libraries.  ``gpt.js`` is
+#: intentionally absent from the defaults: on its own it only proves an ad
+#: server tag, not header bidding, and including it would flood the historical
+#: analysis with false positives.
+DEFAULT_LIBRARY_PATTERNS: tuple[str, ...] = (
+    r"prebid(\.min)?\.js",
+    r"pubfood(\.min)?\.js",
+    r"hb-wrapper(\.min)?\.js",
+    r"headerbid",
+    r"header-bidding",
+)
+
+
+@dataclass(frozen=True)
+class StaticDetection:
+    """Result of statically analysing one HTML document."""
+
+    domain: str
+    hb_detected: bool
+    matched_patterns: tuple[str, ...] = ()
+    matched_scripts: tuple[str, ...] = ()
+
+    @property
+    def n_matches(self) -> int:
+        return len(self.matched_scripts)
+
+
+_SCRIPT_SRC_RE = re.compile(r"<script[^>]+src=[\"']([^\"']+)[\"']", re.IGNORECASE)
+
+
+class StaticAnalyzer:
+    """Regex-based scan of page HTML for known HB library script tags."""
+
+    def __init__(self, patterns: Sequence[str] = DEFAULT_LIBRARY_PATTERNS) -> None:
+        if not patterns:
+            raise ValueError("the static analyzer needs at least one pattern")
+        self._patterns = tuple(patterns)
+        self._compiled = [re.compile(pattern, re.IGNORECASE) for pattern in patterns]
+
+    @property
+    def patterns(self) -> tuple[str, ...]:
+        return self._patterns
+
+    def script_sources(self, html: str) -> tuple[str, ...]:
+        """All ``<script src=...>`` URLs found in the document."""
+        return tuple(_SCRIPT_SRC_RE.findall(html))
+
+    def analyze(self, domain: str, html: str) -> StaticDetection:
+        """Scan one document and report whether HB libraries are referenced."""
+        matched_patterns: list[str] = []
+        matched_scripts: list[str] = []
+        for script in self.script_sources(html):
+            for pattern, compiled in zip(self._patterns, self._compiled):
+                if compiled.search(script):
+                    if pattern not in matched_patterns:
+                        matched_patterns.append(pattern)
+                    matched_scripts.append(script)
+                    break
+        return StaticDetection(
+            domain=domain,
+            hb_detected=bool(matched_scripts),
+            matched_patterns=tuple(matched_patterns),
+            matched_scripts=tuple(matched_scripts),
+        )
+
+    def analyze_many(self, documents: Iterable[tuple[str, str]]) -> list[StaticDetection]:
+        """Analyse ``(domain, html)`` pairs in order."""
+        return [self.analyze(domain, html) for domain, html in documents]

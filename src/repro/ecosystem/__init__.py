@@ -1,0 +1,46 @@
+"""Synthetic ad-ecosystem substrate.
+
+This package generates the *ground truth* that the simulated browser renders
+and that HBDetector then observes: demand partners and their behaviour,
+publishers and their header-bidding configurations, the publisher ad server,
+Alexa-style top lists and a Wayback-style snapshot archive.
+"""
+
+from repro.ecosystem.partners import (
+    BidBehavior,
+    DemandPartner,
+    LatencyModel,
+    PartnerResponse,
+)
+from repro.ecosystem.registry import PartnerRegistry, default_registry
+from repro.ecosystem.publishers import (
+    Publisher,
+    PublisherPopulation,
+    PopulationConfig,
+    generate_population,
+)
+from repro.ecosystem.adserver import AdServer, AdServerDecision, LineItem
+from repro.ecosystem.alexa import TopList, TopListEntry, generate_top_list, yearly_top_lists
+from repro.ecosystem.wayback import SnapshotArchive, Snapshot
+
+__all__ = [
+    "BidBehavior",
+    "DemandPartner",
+    "LatencyModel",
+    "PartnerResponse",
+    "PartnerRegistry",
+    "default_registry",
+    "Publisher",
+    "PublisherPopulation",
+    "PopulationConfig",
+    "generate_population",
+    "AdServer",
+    "AdServerDecision",
+    "LineItem",
+    "TopList",
+    "TopListEntry",
+    "generate_top_list",
+    "yearly_top_lists",
+    "SnapshotArchive",
+    "Snapshot",
+]

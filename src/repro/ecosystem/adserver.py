@@ -1,0 +1,200 @@
+"""Publisher ad server model.
+
+The ad server (DoubleClick for Publishers in most of the paper's dataset) is
+the component that receives the header-bidding key-values from the wrapper,
+compares them against the other sale channels (direct orders, RTB waterfall,
+fallback / house ads) and decides which creative is ultimately rendered in
+each slot.
+
+The model implements the decision logic of §2.1 step 3: the highest header bid
+wins if it clears the slot's floor price and beats any eligible direct order;
+otherwise the ad server walks the remaining channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.models import AdSlot, SaleChannel
+from repro.ecosystem.partners import DemandPartner
+
+__all__ = ["LineItem", "AdServerDecision", "AdServer"]
+
+
+@dataclass(frozen=True)
+class LineItem:
+    """A directly sold (non-programmatic) campaign booked in the ad server.
+
+    Direct orders are sold at a fixed CPM for a fixed number of impressions,
+    targeting the publisher's whole audience rather than an individual user.
+    """
+
+    advertiser: str
+    cpm: float
+    remaining_impressions: int
+    eligible_sizes: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.cpm < 0:
+            raise ConfigurationError("direct order CPM cannot be negative")
+        if self.remaining_impressions < 0:
+            raise ConfigurationError("remaining impressions cannot be negative")
+
+    def matches(self, slot: AdSlot) -> bool:
+        """Whether this line item can fill the given slot."""
+        if self.remaining_impressions <= 0:
+            return False
+        if not self.eligible_sizes:
+            return True
+        return any(label in self.eligible_sizes for label in slot.accepted_labels)
+
+
+@dataclass(frozen=True)
+class AdServerDecision:
+    """The ad server's ruling for one ad slot."""
+
+    slot_code: str
+    channel: SaleChannel
+    winner: str | None
+    clearing_cpm: float
+    response_latency_ms: float
+    considered_header_bids: int = 0
+    header_bid_cpm: float | None = None
+
+    @property
+    def filled(self) -> bool:
+        return self.winner is not None
+
+
+class AdServer:
+    """Decision engine for a publisher's ad inventory.
+
+    Parameters
+    ----------
+    operator:
+        The demand partner operating the ad server (usually DFP).
+    response_latency_median_ms / response_latency_sigma:
+        Latency of the ad-server round trip observed from the browser.
+    line_items:
+        Direct orders currently booked.
+    fallback_cpm:
+        Remnant-inventory price (e.g. AdSense backfill).
+    """
+
+    def __init__(
+        self,
+        operator: DemandPartner,
+        *,
+        response_latency_median_ms: float = 90.0,
+        response_latency_sigma: float = 0.4,
+        line_items: Sequence[LineItem] = (),
+        fallback_cpm: float = 0.01,
+        fallback_fill_probability: float = 0.9,
+    ) -> None:
+        if response_latency_median_ms <= 0:
+            raise ConfigurationError("ad server latency median must be positive")
+        if not 0 <= fallback_fill_probability <= 1:
+            raise ConfigurationError("fallback fill probability must be in [0, 1]")
+        self.operator = operator
+        self.response_latency_median_ms = response_latency_median_ms
+        self.response_latency_sigma = response_latency_sigma
+        self.line_items = list(line_items)
+        self.fallback_cpm = fallback_cpm
+        self.fallback_fill_probability = fallback_fill_probability
+
+    def sample_latency(self, rng: np.random.Generator, scale: float = 1.0) -> float:
+        """One ad-server round-trip latency in milliseconds."""
+        mu = float(np.log(self.response_latency_median_ms * scale))
+        return max(10.0, float(rng.lognormal(mean=mu, sigma=self.response_latency_sigma)))
+
+    def _best_direct_order(self, slot: AdSlot) -> LineItem | None:
+        eligible = [item for item in self.line_items if item.matches(slot)]
+        if not eligible:
+            return None
+        return max(eligible, key=lambda item: item.cpm)
+
+    def decide(
+        self,
+        rng: np.random.Generator,
+        slot: AdSlot,
+        header_bids: Mapping[str, float],
+        *,
+        latency_scale: float = 1.0,
+    ) -> AdServerDecision:
+        """Pick the winning channel and creative for one slot.
+
+        ``header_bids`` maps bidder name to CPM for the bids that arrived in
+        time and were pushed to the ad server as key-values.
+        """
+        latency = self.sample_latency(rng, scale=latency_scale)
+        best_bidder: str | None = None
+        best_cpm = 0.0
+        if header_bids:
+            best_bidder = max(header_bids, key=lambda name: header_bids[name])
+            best_cpm = header_bids[best_bidder]
+
+        direct = self._best_direct_order(slot)
+
+        # Header bid wins when it clears the floor and beats the direct order.
+        if best_bidder is not None and best_cpm >= slot.floor_cpm and (
+            direct is None or best_cpm >= direct.cpm
+        ):
+            return AdServerDecision(
+                slot_code=slot.code,
+                channel=SaleChannel.HEADER_BIDDING,
+                winner=best_bidder,
+                clearing_cpm=best_cpm,
+                response_latency_ms=latency,
+                considered_header_bids=len(header_bids),
+                header_bid_cpm=best_cpm,
+            )
+
+        # Direct order next: guaranteed price, guaranteed fill.
+        if direct is not None:
+            return AdServerDecision(
+                slot_code=slot.code,
+                channel=SaleChannel.DIRECT_ORDER,
+                winner=direct.advertiser,
+                clearing_cpm=direct.cpm,
+                response_latency_ms=latency,
+                considered_header_bids=len(header_bids),
+                header_bid_cpm=best_cpm if best_bidder else None,
+            )
+
+        # Remnant / fallback channel (e.g. AdSense backfill), which fills most
+        # of the time at a low price; otherwise the slot stays empty (house ad).
+        if rng.random() < self.fallback_fill_probability:
+            return AdServerDecision(
+                slot_code=slot.code,
+                channel=SaleChannel.FALLBACK,
+                winner=f"{self.operator.name} backfill",
+                clearing_cpm=self.fallback_cpm,
+                response_latency_ms=latency,
+                considered_header_bids=len(header_bids),
+                header_bid_cpm=best_cpm if best_bidder else None,
+            )
+        return AdServerDecision(
+            slot_code=slot.code,
+            channel=SaleChannel.HOUSE,
+            winner=None,
+            clearing_cpm=0.0,
+            response_latency_ms=latency,
+            considered_header_bids=len(header_bids),
+            header_bid_cpm=best_cpm if best_bidder else None,
+        )
+
+    def consume_direct_order(self, advertiser: str) -> None:
+        """Decrement the impression budget of a direct order after a render."""
+        for index, item in enumerate(self.line_items):
+            if item.advertiser == advertiser and item.remaining_impressions > 0:
+                self.line_items[index] = LineItem(
+                    advertiser=item.advertiser,
+                    cpm=item.cpm,
+                    remaining_impressions=item.remaining_impressions - 1,
+                    eligible_sizes=item.eligible_sizes,
+                )
+                return

@@ -1,0 +1,182 @@
+"""Wayback-Machine-style snapshot archive.
+
+Figure 4 of the paper measures HB adoption from 2014 to 2019 by downloading
+yearly snapshots of the top-1k sites from the Internet Archive and running a
+*static* analysis over the archived HTML (dynamic analysis is not reliable on
+played-back pages).  This module provides the archive substrate: it stores
+static HTML snapshots per (domain, year), generated so that HB adoption over
+the years follows a configurable curve, and with realistic noise sources
+(renamed libraries, HB-looking scripts on non-HB pages) that make static
+analysis imperfect in exactly the ways the paper discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import ConfigurationError
+from repro.models import WrapperKind
+from repro.ecosystem.alexa import TopList
+from repro.utils.rng import derive_rng
+
+__all__ = ["Snapshot", "SnapshotArchive", "ADOPTION_CURVE"]
+
+
+#: Calibrated yearly HB adoption probabilities for the top-1k population,
+#: matching Figure 4: ~10% of sites were early adopters in 2014, adoption grew
+#: through the 2016 breakthrough, then plateaued around 20%.
+ADOPTION_CURVE: Mapping[int, float] = {
+    2014: 0.085,
+    2015: 0.115,
+    2016: 0.155,
+    2017: 0.185,
+    2018: 0.205,
+    2019: 0.215,
+}
+
+_WRAPPER_SCRIPT_NAMES: Mapping[WrapperKind, str] = {
+    WrapperKind.PREBID: "prebid.js",
+    WrapperKind.GPT: "gpt.js",
+    WrapperKind.PUBFOOD: "pubfood.js",
+    WrapperKind.CUSTOM: "hb-wrapper.js",
+}
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One archived page: the static HTML of ``domain`` as captured in ``year``."""
+
+    domain: str
+    year: int
+    html: str
+    uses_hb: bool
+    wrapper: WrapperKind | None = None
+
+    def __post_init__(self) -> None:
+        if not self.domain:
+            raise ConfigurationError("snapshot domain must be non-empty")
+        if self.year < 1990:
+            raise ConfigurationError("snapshot year looks implausible")
+
+
+def _render_header_scripts(scripts: Iterable[str]) -> str:
+    return "\n    ".join(f'<script async src="{src}"></script>' for src in scripts)
+
+
+def _snapshot_html(domain: str, year: int, scripts: Iterable[str], body_note: str) -> str:
+    """Produce minimal but structurally realistic archived HTML."""
+    return (
+        "<!DOCTYPE html>\n"
+        f"<html lang=\"en\">\n"
+        "  <head>\n"
+        f"    <title>{domain} ({year})</title>\n"
+        f"    {_render_header_scripts(scripts)}\n"
+        "  </head>\n"
+        "  <body>\n"
+        f"    <!-- archived snapshot of {domain}, {year} -->\n"
+        f"    <p>{body_note}</p>\n"
+        "    <div id=\"content\">Lorem ipsum dolor sit amet.</div>\n"
+        "  </body>\n"
+        "</html>\n"
+    )
+
+
+class SnapshotArchive:
+    """Generates and serves historical static snapshots for a top list.
+
+    Parameters
+    ----------
+    top_lists:
+        Mapping year -> :class:`~repro.ecosystem.alexa.TopList` of the domains
+        whose snapshots exist for that year.
+    adoption_curve:
+        Year -> probability that a listed site had HB deployed that year.
+    renamed_wrapper_rate:
+        Among HB sites, the fraction that self-host the wrapper under a
+        non-standard file name (a static-analysis false *negative*).
+    misleading_script_rate:
+        Among non-HB sites, the fraction that include a script whose name
+        merely looks HB-related (a static-analysis false *positive* source).
+    """
+
+    def __init__(
+        self,
+        top_lists: Mapping[int, TopList],
+        *,
+        adoption_curve: Mapping[int, float] | None = None,
+        seed: int = 2019,
+        renamed_wrapper_rate: float = 0.06,
+        misleading_script_rate: float = 0.02,
+    ) -> None:
+        if not top_lists:
+            raise ConfigurationError("the snapshot archive needs at least one year")
+        self.top_lists = dict(top_lists)
+        self.adoption_curve = dict(adoption_curve or ADOPTION_CURVE)
+        self.seed = seed
+        if not 0 <= renamed_wrapper_rate <= 1 or not 0 <= misleading_script_rate <= 1:
+            raise ConfigurationError("noise rates must be in [0, 1]")
+        self.renamed_wrapper_rate = renamed_wrapper_rate
+        self.misleading_script_rate = misleading_script_rate
+        self._cache: dict[tuple[str, int], Snapshot] = {}
+
+    @property
+    def years(self) -> tuple[int, ...]:
+        return tuple(sorted(self.top_lists))
+
+    def adoption_probability(self, year: int) -> float:
+        if year in self.adoption_curve:
+            return self.adoption_curve[year]
+        known_years = sorted(self.adoption_curve)
+        if year < known_years[0]:
+            return self.adoption_curve[known_years[0]] * 0.5
+        return self.adoption_curve[known_years[-1]]
+
+    def domains_for(self, year: int) -> tuple[str, ...]:
+        if year not in self.top_lists:
+            raise KeyError(f"no top list archived for year {year}")
+        return self.top_lists[year].domains
+
+    def snapshot(self, domain: str, year: int) -> Snapshot:
+        """Return (generating lazily) the archived snapshot of a domain."""
+        key = (domain, year)
+        if key not in self._cache:
+            self._cache[key] = self._build_snapshot(domain, year)
+        return self._cache[key]
+
+    def snapshots_for(self, year: int) -> list[Snapshot]:
+        """All snapshots of the year's top list (generated on demand)."""
+        return [self.snapshot(domain, year) for domain in self.domains_for(year)]
+
+    # -- generation ----------------------------------------------------------
+    def _build_snapshot(self, domain: str, year: int) -> Snapshot:
+        rng = derive_rng(self.seed, "wayback", domain, year)
+        uses_hb = rng.random() < self.adoption_probability(year)
+
+        scripts = ["https://cdn.example/jquery-2.2.4.min.js"]
+        wrapper: WrapperKind | None = None
+        if uses_hb:
+            wrapper_choices = [WrapperKind.PREBID, WrapperKind.GPT, WrapperKind.PUBFOOD,
+                               WrapperKind.CUSTOM]
+            wrapper_weights = [0.64, 0.24, 0.07, 0.05]
+            wrapper = wrapper_choices[int(rng.choice(len(wrapper_choices), p=wrapper_weights))]
+            script_name = _WRAPPER_SCRIPT_NAMES[wrapper]
+            if rng.random() < self.renamed_wrapper_rate:
+                # Self-hosted, renamed wrapper: static analysis cannot match it
+                # by file name, though the page genuinely runs HB.
+                script_name = f"bundle-{abs(hash(domain)) % 997}.min.js"
+            scripts.append(f"https://{domain}/static/{script_name}")
+            if wrapper is WrapperKind.PREBID and rng.random() < 0.5:
+                scripts.append("https://cdn.jsdelivr.net/npm/prebid.js@latest/dist/prebid.js")
+            body_note = "This page funds itself through programmatic advertising."
+        else:
+            if rng.random() < self.misleading_script_rate:
+                # A script whose name contains an HB-looking token but which is
+                # unrelated to header bidding (e.g. a "bidding" game widget).
+                scripts.append(f"https://{domain}/static/auction-widget-headerbid-theme.js")
+            body_note = "A perfectly ordinary website."
+            if rng.random() < 0.5:
+                scripts.append("https://www.google-analytics.com/analytics.js")
+
+        html = _snapshot_html(domain, year, scripts, body_note)
+        return Snapshot(domain=domain, year=year, html=html, uses_hb=uses_hb, wrapper=wrapper)

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the header-bidding reproduction library.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError`, so a
+caller can catch the whole family with a single ``except`` clause while still
+being able to distinguish configuration problems from runtime simulation or
+detection problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment, ecosystem or wrapper configuration is invalid."""
+
+
+class EcosystemError(ReproError):
+    """The synthetic ad ecosystem was asked to do something inconsistent."""
+
+
+class UnknownPartnerError(EcosystemError):
+    """A demand partner name was requested that is not in the registry."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown demand partner: {name!r}")
+        self.name = name
+
+
+class BrowserError(ReproError):
+    """The simulated browser failed to load or execute a page."""
+
+
+class PageLoadTimeout(BrowserError):
+    """A page did not finish loading within the crawler's timeout."""
+
+    def __init__(self, url: str, timeout_ms: float) -> None:
+        super().__init__(f"page {url!r} did not load within {timeout_ms:.0f} ms")
+        self.url = url
+        self.timeout_ms = timeout_ms
+
+
+class AuctionError(ReproError):
+    """An HB or waterfall auction was driven through an invalid transition."""
+
+
+class DetectionError(ReproError):
+    """HBDetector could not interpret the observed page activity."""
+
+
+class CrawlError(ReproError):
+    """The crawler failed in a way that is not a per-page timeout."""
+
+
+class StorageError(ReproError):
+    """Reading or writing a crawl dataset on disk failed."""
+
+
+class AnalysisError(ReproError):
+    """An analysis was requested on data that cannot support it."""
+
+
+class EmptyDatasetError(AnalysisError):
+    """An analysis was requested on an empty dataset."""

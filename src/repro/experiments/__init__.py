@@ -1,0 +1,13 @@
+"""End-to-end experiments reproducing the paper's evaluation.
+
+:mod:`repro.experiments.config` defines the experiment configuration (site
+count, seed, crawl length), :mod:`repro.experiments.runner` runs the full
+pipeline (generate Web → crawl → detect → dataset), and
+:mod:`repro.experiments.figures` / :mod:`repro.experiments.tables` expose one
+function per paper artefact that the benchmarks call.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentRunner, ExperimentArtifacts
+
+__all__ = ["ExperimentConfig", "ExperimentRunner", "ExperimentArtifacts"]

@@ -1,0 +1,81 @@
+"""Experiment configuration.
+
+One :class:`ExperimentConfig` describes a complete measurement campaign: the
+size of the simulated Web, the random seed, how many daily re-crawls to run,
+the detector's partner-list coverage, and the historical study's parameters.
+The paper-scale configuration (35k sites, 34 re-crawl days) is available as
+:meth:`ExperimentConfig.paper_scale`; benchmarks and tests default to much
+smaller populations with identical proportions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.ecosystem.publishers import PopulationConfig
+from repro.errors import ConfigurationError
+
+__all__ = ["ExperimentConfig"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Parameters of one reproduction run."""
+
+    #: Number of websites in the simulated Web (the paper crawls 35,000).
+    total_sites: int = 3_000
+    #: Base random seed for the whole pipeline.
+    seed: int = 2019
+    #: Number of daily re-crawls of the HB-enabled sites (the paper runs 34).
+    recrawl_days: int = 2
+    #: Fraction of the partner universe present on the detector's curated list.
+    detector_coverage: float = 1.0
+    #: Number of partners in the ecosystem (the paper observes 84).
+    total_partners: int = 84
+    #: Historical study: number of sites per yearly top list and years covered.
+    historical_sites: int = 1_000
+    historical_years: tuple[int, ...] = (2014, 2015, 2016, 2017, 2018, 2019)
+    #: Vanilla (clean-slate) crawler profile, as in the paper.
+    vanilla_profile: bool = True
+
+    def __post_init__(self) -> None:
+        if self.total_sites < 10:
+            raise ConfigurationError("an experiment needs at least 10 sites")
+        if self.recrawl_days < 0:
+            raise ConfigurationError("recrawl_days cannot be negative")
+        if not 0.0 < self.detector_coverage <= 1.0:
+            raise ConfigurationError("detector_coverage must be in (0, 1]")
+        if self.total_partners < 10:
+            raise ConfigurationError("the ecosystem needs at least 10 partners")
+        if self.historical_sites < 10:
+            raise ConfigurationError("the historical study needs at least 10 sites")
+        if not self.historical_years:
+            raise ConfigurationError("the historical study needs at least one year")
+
+    # -- presets ------------------------------------------------------------------
+    @classmethod
+    def paper_scale(cls, *, seed: int = 2019) -> "ExperimentConfig":
+        """The full-size configuration matching the paper's campaign."""
+        return cls(total_sites=35_000, seed=seed, recrawl_days=34, historical_sites=1_000)
+
+    @classmethod
+    def bench_scale(cls, *, seed: int = 2019) -> "ExperimentConfig":
+        """The default configuration used by the benchmark harness."""
+        return cls(total_sites=3_000, seed=seed, recrawl_days=2, historical_sites=400)
+
+    @classmethod
+    def test_scale(cls, *, seed: int = 7) -> "ExperimentConfig":
+        """A tiny configuration for unit and integration tests."""
+        return cls(total_sites=400, seed=seed, recrawl_days=1, historical_sites=120,
+                   historical_years=(2016, 2019))
+
+    # -- derived configuration -------------------------------------------------------
+    def population_config(self) -> PopulationConfig:
+        """The publisher-population configuration this experiment implies."""
+        return PopulationConfig(seed=self.seed).scaled(self.total_sites)
+
+    def with_sites(self, total_sites: int) -> "ExperimentConfig":
+        return replace(self, total_sites=total_sites)
+
+    def with_seed(self, seed: int) -> "ExperimentConfig":
+        return replace(self, seed=seed)

@@ -1,0 +1,130 @@
+"""The end-to-end experiment pipeline.
+
+``ExperimentRunner.run()`` executes the full measurement campaign on the
+simulated Web: generate the publisher population and partner registry, build
+the detector, crawl the top list, re-crawl the HB sites daily, and bundle the
+results into :class:`ExperimentArtifacts` — the object every figure and table
+function consumes.
+
+Because everything downstream of the configuration is deterministic, running
+the same configuration twice yields identical artifacts, and benchmarks can
+memoise artifacts per configuration to avoid re-simulating the Web for each
+figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.analysis.dataset import CrawlDataset
+from repro.crawler.crawler import CrawlConfig, Crawler
+from repro.crawler.historical import HistoricalAdoption, HistoricalCrawler
+from repro.crawler.scheduler import LongitudinalCrawl, LongitudinalScheduler
+from repro.detector.detector import HBDetector
+from repro.detector.partner_list import build_known_partner_list
+from repro.detector.static_analysis import StaticAnalyzer
+from repro.ecosystem.alexa import yearly_top_lists
+from repro.ecosystem.publishers import PublisherPopulation, generate_population
+from repro.ecosystem.registry import default_registry
+from repro.ecosystem.wayback import SnapshotArchive
+from repro.experiments.config import ExperimentConfig
+from repro.hb.environment import AuctionEnvironment
+
+__all__ = ["ExperimentArtifacts", "ExperimentRunner"]
+
+
+@dataclass
+class ExperimentArtifacts:
+    """Everything one experiment run produced."""
+
+    config: ExperimentConfig
+    population: PublisherPopulation
+    environment: AuctionEnvironment
+    detector: HBDetector
+    longitudinal: LongitudinalCrawl
+    dataset: CrawlDataset
+
+    @property
+    def summary(self) -> Mapping[str, int | float]:
+        return self.dataset.summary()
+
+
+_ARTIFACT_CACHE: dict[tuple, ExperimentArtifacts] = {}
+
+
+class ExperimentRunner:
+    """Runs the measurement campaign described by an :class:`ExperimentConfig`."""
+
+    def __init__(self, config: ExperimentConfig | None = None) -> None:
+        self.config = config or ExperimentConfig()
+
+    # -- pipeline pieces --------------------------------------------------------
+    def build_population(self) -> PublisherPopulation:
+        registry = default_registry(seed=self.config.seed, total_partners=self.config.total_partners)
+        return generate_population(self.config.population_config(), registry)
+
+    def build_environment(self, population: PublisherPopulation) -> AuctionEnvironment:
+        return AuctionEnvironment(
+            registry=population.registry,
+            vanilla_profile=self.config.vanilla_profile,
+        )
+
+    def build_detector(self, population: PublisherPopulation) -> HBDetector:
+        known = build_known_partner_list(
+            population.registry,
+            coverage=self.config.detector_coverage,
+            seed=self.config.seed,
+        )
+        return HBDetector(known)
+
+    # -- main entry points ----------------------------------------------------------
+    def run(self, *, use_cache: bool = True) -> ExperimentArtifacts:
+        """Run (or reuse) the full crawl campaign for this configuration."""
+        cache_key = (
+            self.config.total_sites,
+            self.config.seed,
+            self.config.recrawl_days,
+            self.config.detector_coverage,
+            self.config.total_partners,
+            self.config.vanilla_profile,
+        )
+        if use_cache and cache_key in _ARTIFACT_CACHE:
+            return _ARTIFACT_CACHE[cache_key]
+
+        population = self.build_population()
+        environment = self.build_environment(population)
+        detector = self.build_detector(population)
+        crawler = Crawler(environment, detector, CrawlConfig(seed=self.config.seed))
+        scheduler = LongitudinalScheduler(crawler, recrawl_days=self.config.recrawl_days)
+        longitudinal = scheduler.run(population)
+        dataset = CrawlDataset.from_detections(
+            longitudinal.all_detections, label=f"crawl-{self.config.total_sites}"
+        )
+        artifacts = ExperimentArtifacts(
+            config=self.config,
+            population=population,
+            environment=environment,
+            detector=detector,
+            longitudinal=longitudinal,
+            dataset=dataset,
+        )
+        if use_cache:
+            _ARTIFACT_CACHE[cache_key] = artifacts
+        return artifacts
+
+    def run_historical(self) -> HistoricalAdoption:
+        """Run the Wayback-style historical adoption study (Figure 4)."""
+        top_lists = yearly_top_lists(
+            self.config.historical_sites,
+            self.config.historical_years,
+            seed=self.config.seed,
+        )
+        archive = SnapshotArchive(top_lists, seed=self.config.seed)
+        crawler = HistoricalCrawler(archive, StaticAnalyzer())
+        return crawler.crawl()
+
+
+def clear_artifact_cache() -> None:
+    """Drop memoised experiment artifacts (used by tests that vary configs)."""
+    _ARTIFACT_CACHE.clear()

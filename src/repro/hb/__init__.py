@@ -1,0 +1,41 @@
+"""Header-bidding protocol implementations and the waterfall baseline.
+
+This package models the *publisher side* of programmatic ad buying:
+
+* the wrapper libraries (Prebid.js-style, gpt.js-style, pubfood-style) that
+  run in the page header and emit the DOM events HBDetector keys on,
+* the three HB deployment facets — client-side, server-side and hybrid,
+* the publisher ad-server interaction (key-value push, winner selection), and
+* the traditional waterfall / RTB standard used as the comparison baseline.
+"""
+
+from repro.hb.events import HBEventName, HB_EVENT_NAMES, HBParam
+from repro.hb.auction import (
+    BidOutcome,
+    SlotAuctionOutcome,
+    HeaderBiddingOutcome,
+)
+from repro.hb.wrappers import HBWrapper, build_wrapper
+from repro.hb.prebid import PrebidWrapper
+from repro.hb.gpt import GptWrapper
+from repro.hb.pubfood import PubfoodWrapper
+from repro.hb.runner import run_header_bidding
+from repro.hb.waterfall import WaterfallAdNetwork, WaterfallOutcome, run_waterfall
+
+__all__ = [
+    "HBEventName",
+    "HB_EVENT_NAMES",
+    "HBParam",
+    "BidOutcome",
+    "SlotAuctionOutcome",
+    "HeaderBiddingOutcome",
+    "HBWrapper",
+    "build_wrapper",
+    "PrebidWrapper",
+    "GptWrapper",
+    "PubfoodWrapper",
+    "run_header_bidding",
+    "WaterfallAdNetwork",
+    "WaterfallOutcome",
+    "run_waterfall",
+]

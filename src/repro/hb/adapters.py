@@ -1,0 +1,87 @@
+"""Bidder adapters: how the wrapper talks to each demand partner.
+
+In Prebid.js, every demand partner ships an *adapter* that knows how to turn
+the wrapper's generic bid request into the partner's own endpoint format.  The
+simulation models the observable consequence of that design: the URL and
+parameters of the outgoing bid request, which is one of the two signals
+HBDetector matches on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.ecosystem.partners import DemandPartner
+from repro.models import AdSlot
+
+__all__ = ["BidRequestSpec", "build_bid_request", "build_notification_request"]
+
+
+@dataclass(frozen=True)
+class BidRequestSpec:
+    """A fully specified outgoing bid request for one partner."""
+
+    url: str
+    method: str
+    params: Mapping[str, str]
+
+
+def _slot_params(slots: Sequence[AdSlot]) -> dict[str, str]:
+    """Flatten the auctioned slots into request parameters."""
+    return {
+        "ad_units": ",".join(slot.code for slot in slots),
+        "sizes": "|".join(",".join(slot.accepted_labels) for slot in slots),
+        "slot_count": str(len(slots)),
+    }
+
+
+def build_bid_request(
+    partner: DemandPartner,
+    slots: Sequence[AdSlot],
+    *,
+    page_url: str,
+    auction_id: str,
+    timeout_ms: float,
+) -> BidRequestSpec:
+    """Build the outgoing bid request the wrapper sends to one partner.
+
+    The request is an HTTP POST to the partner's bid endpoint; the parameters
+    mirror what a Prebid adapter would serialise (bidder code, referer, the ad
+    units and their sizes, the wrapper timeout) — they deliberately do *not*
+    carry the ``hb_*`` targeting keys, which only appear on the ad-server call
+    and in responses.
+    """
+    params = {
+        "bidder": partner.bidder_code,
+        "referer": page_url,
+        "auction_id": auction_id,
+        "tmax": str(int(timeout_ms)),
+        **_slot_params(slots),
+    }
+    return BidRequestSpec(url=partner.bid_endpoint(), method="POST", params=params)
+
+
+def build_notification_request(
+    partner: DemandPartner,
+    *,
+    slot_code: str,
+    cpm: float,
+    auction_id: str,
+) -> BidRequestSpec:
+    """Build the winner-notification callback (§2.1 step 4).
+
+    Fired after the creative rendered; it tells the winning partner which
+    impression it bought and at what price.
+    """
+    params = {
+        "hb_bidder": partner.bidder_code,
+        "hb_cpm": f"{cpm:.5f}",
+        "hb_adid": f"{auction_id}-{slot_code}",
+        "event": "win",
+    }
+    return BidRequestSpec(
+        url=f"https://{partner.primary_domain}/hb/win",
+        method="GET",
+        params=params,
+    )

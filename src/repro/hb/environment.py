@@ -1,0 +1,134 @@
+"""Auction environment: the demand side as seen from one page load.
+
+The wrappers and facet executors need a consistent view of the surrounding
+ecosystem — which partners exist, how popular each one is (prices depend on
+it), the structural pricing model and the ad-server latency parameters.  The
+:class:`AuctionEnvironment` bundles that view so the protocol code does not
+reach into global state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ecosystem.bidding import PricingModel
+from repro.ecosystem.partners import DemandPartner, PartnerResponse
+from repro.ecosystem.registry import PartnerRegistry, default_registry
+from repro.errors import ConfigurationError
+from repro.models import AdSlot, AdSlotSize, HBFacet
+
+__all__ = ["AuctionEnvironment"]
+
+
+@dataclass
+class AuctionEnvironment:
+    """Everything the demand side contributes to an auction.
+
+    Parameters
+    ----------
+    registry:
+        The partner universe.
+    pricing:
+        Structural price multipliers (size / facet / popularity / profile).
+    vanilla_profile:
+        ``True`` for the paper's clean-slate crawler (no cookies, no history);
+        bids are attenuated accordingly.
+    ad_server_latency_median_ms / ad_server_latency_sigma:
+        Latency of the publisher-ad-server round trip as observed from the
+        browser, excluding any internal auction the operator runs.
+    internal_auction_pool:
+        How many affiliated partners a server-side aggregator or hybrid ad
+        server consults internally, expressed as an inclusive (low, high)
+        range.
+    """
+
+    registry: PartnerRegistry = field(default_factory=default_registry)
+    pricing: PricingModel = field(default_factory=PricingModel)
+    vanilla_profile: bool = True
+    ad_server_latency_median_ms: float = 90.0
+    ad_server_latency_sigma: float = 0.40
+    internal_auction_pool: tuple[int, int] = (3, 8)
+
+    def __post_init__(self) -> None:
+        if self.ad_server_latency_median_ms <= 0:
+            raise ConfigurationError("ad server latency median must be positive")
+        low, high = self.internal_auction_pool
+        if low < 1 or high < low:
+            raise ConfigurationError("internal auction pool range must be >= 1 and ordered")
+        ordered = sorted(self.registry.partners, key=lambda p: p.popularity_weight, reverse=True)
+        self._popularity_rank = {partner.name: rank for rank, partner in enumerate(ordered, start=1)}
+
+    # -- popularity ----------------------------------------------------------
+    @property
+    def total_partners(self) -> int:
+        return len(self.registry)
+
+    def popularity_rank(self, partner: DemandPartner) -> int:
+        """1-based popularity rank of a partner (1 = most popular)."""
+        return self._popularity_rank.get(partner.name, self.total_partners)
+
+    # -- pricing -------------------------------------------------------------
+    def price_multiplier(self, partner: DemandPartner, size: AdSlotSize, facet: HBFacet) -> float:
+        return self.pricing.combined_multiplier(
+            size,
+            facet,
+            popularity_rank=self.popularity_rank(partner),
+            total_partners=self.total_partners,
+            vanilla_profile=self.vanilla_profile,
+        )
+
+    # -- partner behaviour ----------------------------------------------------
+    def partner_response(
+        self,
+        rng: np.random.Generator,
+        partner: DemandPartner,
+        slot: AdSlot,
+        facet: HBFacet,
+        *,
+        latency_scale: float = 1.0,
+    ) -> PartnerResponse:
+        """Ask one partner for one slot, applying the structural multipliers."""
+        return partner.respond(
+            rng,
+            slot.code,
+            slot.primary_size,
+            latency_scale=latency_scale,
+            size_multiplier=self.pricing.size_multiplier(slot.primary_size),
+            facet_multiplier=(
+                self.pricing.facet_multiplier(facet)
+                * (self.pricing.vanilla_profile_multiplier if self.vanilla_profile else 1.0)
+                * _popularity_multiplier(self.popularity_rank(partner), self.total_partners)
+            ),
+        )
+
+    def sample_internal_bidders(
+        self,
+        rng: np.random.Generator,
+        *,
+        exclude: tuple[DemandPartner, ...] = (),
+    ) -> list[DemandPartner]:
+        """Pick the affiliated partners a server-side aggregator consults."""
+        low, high = self.internal_auction_pool
+        count = int(rng.integers(low, high + 1))
+        candidates = [p for p in self.registry.partners if p not in exclude]
+        if not candidates:
+            return []
+        weights = np.asarray([p.popularity_weight for p in candidates], dtype=float)
+        weights = weights / weights.sum()
+        count = min(count, len(candidates))
+        chosen = rng.choice(len(candidates), size=count, replace=False, p=weights)
+        return [candidates[int(i)] for i in np.atleast_1d(chosen)]
+
+    def ad_server_latency(self, rng: np.random.Generator, *, latency_scale: float = 1.0) -> float:
+        """One ad-server round trip in milliseconds."""
+        mu = float(np.log(self.ad_server_latency_median_ms * latency_scale))
+        return max(10.0, float(rng.lognormal(mean=mu, sigma=self.ad_server_latency_sigma)))
+
+
+def _popularity_multiplier(rank: int, total: int) -> float:
+    """Price attenuation by popularity (delegates to the pricing module)."""
+    from repro.ecosystem.bidding import popularity_price_multiplier
+
+    return popularity_price_multiplier(rank, total)

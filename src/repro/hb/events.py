@@ -1,0 +1,89 @@
+"""Event vocabulary and HB-specific parameter names.
+
+The names below mirror the public contract of the wrapper libraries the paper
+reverse-engineered (§3.1): the Prebid.js auction lifecycle events, the gpt.js
+slot events, and the ``hb_*`` key-value parameters the wrapper attaches to the
+ad-server call so that line items can target header bids.  All HB partners
+participating through a given wrapper must use these names as-is, which is
+exactly what makes reliable detection possible.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["HBEventName", "HB_EVENT_NAMES", "HBParam", "HB_PARAM_NAMES", "RTB_NOTIFICATION_PARAMS"]
+
+
+class HBEventName(str, enum.Enum):
+    """DOM events emitted by header-bidding wrapper libraries."""
+
+    AUCTION_INIT = "auctionInit"
+    REQUEST_BIDS = "requestBids"
+    BID_REQUESTED = "bidRequested"
+    BID_RESPONSE = "bidResponse"
+    BID_TIMEOUT = "bidTimeout"
+    AUCTION_END = "auctionEnd"
+    BID_WON = "bidWon"
+    SLOT_RENDER_ENDED = "slotRenderEnded"
+    AD_RENDER_FAILED = "adRenderFailed"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Every event name a wrapper may emit, as plain strings (detector-facing).
+HB_EVENT_NAMES: tuple[str, ...] = tuple(event.value for event in HBEventName)
+
+
+class HBParam(str, enum.Enum):
+    """HB-specific key-value parameter names.
+
+    These are the targeting keys Prebid-style wrappers set on the ad-server
+    request and that server-side responses echo back; the RTB protocol does
+    not use them, which lets the detector separate HB traffic from waterfall
+    notifications.
+    """
+
+    BIDDER = "hb_bidder"
+    PRICE_BUCKET = "hb_pb"
+    SIZE = "hb_size"
+    AD_ID = "hb_adid"
+    CPM = "hb_cpm"
+    CURRENCY = "hb_currency"
+    FORMAT = "hb_format"
+    SOURCE = "hb_source"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: All HB parameter names as plain strings.
+HB_PARAM_NAMES: tuple[str, ...] = tuple(param.value for param in HBParam)
+
+#: Parameter names typically seen on waterfall/RTB win-notification URLs.
+#: They are DSP-specific in reality; the simulation uses this representative
+#: set, and the point is that they are *disjoint* from :data:`HB_PARAM_NAMES`.
+RTB_NOTIFICATION_PARAMS: tuple[str, ...] = (
+    "price",
+    "winbid",
+    "auction_id",
+    "imp_id",
+    "crid",
+    "adunit",
+)
+
+
+def price_bucket(cpm: float, *, increment: float = 0.01, cap: float = 20.0) -> str:
+    """Quantise a CPM into the wrapper's price-bucket string (e.g. ``"0.53"``).
+
+    Prebid-style wrappers round bids down to a configured granularity before
+    exposing them as targeting values, capping very high bids.
+    """
+    if cpm < 0:
+        raise ValueError("CPM cannot be negative")
+    if increment <= 0:
+        raise ValueError("price bucket increment must be positive")
+    bucketed = min(cpm, cap)
+    steps = int(bucketed / increment)
+    return f"{steps * increment:.2f}"

@@ -1,0 +1,24 @@
+"""gpt.js-style wrapper (Google Publisher Tag).
+
+The Google Publisher Tag is primarily the *ad-server* tag rather than a
+header-bidding wrapper, which is why server-side deployments that lean on DFP
+expose so little on the client: the library fires slot-level render events
+(``slotRenderEnded``), but not the fine-grained auction lifecycle.  HBDetector
+therefore has to rely on the HB parameters embedded in the responses to
+recognise server-side HB on gpt-only pages.
+"""
+
+from __future__ import annotations
+
+from repro.hb.wrappers import HBWrapper
+from repro.models import WrapperKind
+
+__all__ = ["GptWrapper"]
+
+
+class GptWrapper(HBWrapper):
+    """The gpt.js wrapper model."""
+
+    kind = WrapperKind.GPT
+    library_name = "gpt.js"
+    emits_auction_lifecycle = False

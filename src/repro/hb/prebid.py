@@ -1,0 +1,24 @@
+"""Prebid.js-style wrapper.
+
+Prebid.js is the open-source wrapper behind roughly two thirds of client-side
+header-bidding deployments.  Its observable behaviour, which this class
+models, is the richest of the three libraries: it fires the full auction
+lifecycle (``auctionInit`` → ``requestBids`` → ``bidRequested`` →
+``bidResponse`` → ``auctionEnd`` → ``bidWon``) and exposes bid metadata (CPM,
+price bucket, creative size, time to respond) in the event payloads.
+"""
+
+from __future__ import annotations
+
+from repro.hb.wrappers import HBWrapper
+from repro.models import WrapperKind
+
+__all__ = ["PrebidWrapper"]
+
+
+class PrebidWrapper(HBWrapper):
+    """The Prebid.js wrapper model."""
+
+    kind = WrapperKind.PREBID
+    library_name = "prebid.js"
+    emits_auction_lifecycle = True

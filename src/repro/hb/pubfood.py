@@ -1,0 +1,22 @@
+"""pubfood.js-style wrapper.
+
+Pubfood is one of the smaller open-source wrappers the paper analysed.  It
+follows the same conceptual lifecycle as Prebid.js and exposes comparable
+auction metadata, so for detection purposes it behaves like a lifecycle-rich
+wrapper; only the library name differs in the payloads and the script tag.
+"""
+
+from __future__ import annotations
+
+from repro.hb.wrappers import HBWrapper
+from repro.models import WrapperKind
+
+__all__ = ["PubfoodWrapper"]
+
+
+class PubfoodWrapper(HBWrapper):
+    """The pubfood.js wrapper model."""
+
+    kind = WrapperKind.PUBFOOD
+    library_name = "pubfood.js"
+    emits_auction_lifecycle = True

@@ -1,0 +1,274 @@
+"""Shared primitive data types used across the whole library.
+
+These are the vocabulary types the substrates (ecosystem, browser, HB
+protocol), the detector and the analysis layer all agree on: ad-slot sizes,
+HB facets, partner kinds, wrapper kinds, and the observable browser artefacts
+(DOM events and web requests) that HBDetector consumes.
+
+The types here are deliberately small, immutable where possible, and free of
+behaviour that belongs to a specific subsystem.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "AdSlotSize",
+    "AdSlot",
+    "HBFacet",
+    "PartnerKind",
+    "WrapperKind",
+    "SaleChannel",
+    "DomEvent",
+    "WebRequest",
+    "RequestDirection",
+    "PageTimings",
+    "parse_size",
+    "STANDARD_SIZES",
+]
+
+
+_SIZE_RE = re.compile(r"^\s*(\d+)\s*[xX]\s*(\d+)\s*$")
+
+
+@dataclass(frozen=True, order=True)
+class AdSlotSize:
+    """A display ad creative size in CSS pixels, e.g. ``300x250``."""
+
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(f"ad slot dimensions must be positive, got {self.width}x{self.height}")
+
+    @property
+    def area(self) -> int:
+        """Creative area in square pixels (used to sort Figure 23's x-axis)."""
+        return self.width * self.height
+
+    @property
+    def label(self) -> str:
+        """Canonical ``WxH`` label, e.g. ``"300x250"``."""
+        return f"{self.width}x{self.height}"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.label
+
+
+def parse_size(text: str) -> AdSlotSize:
+    """Parse a ``"WxH"`` string into an :class:`AdSlotSize`.
+
+    >>> parse_size("300x250")
+    AdSlotSize(width=300, height=250)
+    """
+    match = _SIZE_RE.match(text)
+    if match is None:
+        raise ValueError(f"not a valid ad slot size: {text!r}")
+    return AdSlotSize(int(match.group(1)), int(match.group(2)))
+
+
+#: The IAB-style creative sizes the paper reports in Figure 21, plus the other
+#: sizes that appear in its plots.  The ecosystem samples slot sizes from this
+#: set with popularity weights; the analysis never assumes membership.
+STANDARD_SIZES: tuple[AdSlotSize, ...] = (
+    AdSlotSize(300, 250),   # medium rectangle / side banner
+    AdSlotSize(728, 90),    # leaderboard / top banner
+    AdSlotSize(300, 600),   # half page
+    AdSlotSize(320, 50),    # mobile banner
+    AdSlotSize(970, 250),   # billboard
+    AdSlotSize(160, 600),   # wide skyscraper
+    AdSlotSize(336, 280),   # large rectangle
+    AdSlotSize(970, 90),    # super leaderboard
+    AdSlotSize(320, 100),   # large mobile banner
+    AdSlotSize(468, 60),    # full banner
+    AdSlotSize(120, 600),   # skyscraper
+    AdSlotSize(320, 320),   # mobile square
+    AdSlotSize(100, 200),
+    AdSlotSize(300, 100),
+    AdSlotSize(300, 50),
+)
+
+
+@dataclass(frozen=True)
+class AdSlot:
+    """An ad placement on a publisher page.
+
+    ``code`` is the slot's DOM element / ad-unit code (e.g. ``div-gpt-ad-1``),
+    ``primary_size`` the size the publisher prefers to fill and ``sizes`` every
+    size the slot accepts (multi-size requests are what produce the >20 slot
+    auctions discussed in §5.3 of the paper).
+    """
+
+    code: str
+    primary_size: AdSlotSize
+    sizes: tuple[AdSlotSize, ...] = ()
+    floor_cpm: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.code:
+            raise ValueError("ad slot code must be non-empty")
+        if self.floor_cpm < 0:
+            raise ValueError("floor CPM cannot be negative")
+        if not self.sizes:
+            object.__setattr__(self, "sizes", (self.primary_size,))
+        elif self.primary_size not in self.sizes:
+            object.__setattr__(self, "sizes", (self.primary_size, *self.sizes))
+
+    @property
+    def accepted_labels(self) -> tuple[str, ...]:
+        return tuple(size.label for size in self.sizes)
+
+
+class HBFacet(str, enum.Enum):
+    """The three header-bidding deployment facets identified by the paper."""
+
+    CLIENT_SIDE = "client-side"
+    SERVER_SIDE = "server-side"
+    HYBRID = "hybrid"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class PartnerKind(str, enum.Enum):
+    """Role of an ad-tech company in the supply chain."""
+
+    DSP = "dsp"
+    SSP = "ssp"
+    ADX = "adx"
+    AD_SERVER = "ad-server"
+    AGENCY = "agency"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class WrapperKind(str, enum.Enum):
+    """Header-bidding wrapper library families modelled by the library."""
+
+    PREBID = "prebid.js"
+    GPT = "gpt.js"
+    PUBFOOD = "pubfood.js"
+    CUSTOM = "custom"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class SaleChannel(str, enum.Enum):
+    """Publisher inventory sale channels that compete in the ad server."""
+
+    HEADER_BIDDING = "header-bidding"
+    DIRECT_ORDER = "direct-order"
+    RTB_WATERFALL = "rtb-waterfall"
+    FALLBACK = "fallback"
+    HOUSE = "house"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class RequestDirection(str, enum.Enum):
+    """Whether a web request entry is the outgoing request or the response."""
+
+    OUTGOING = "outgoing"
+    INCOMING = "incoming"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class DomEvent:
+    """A DOM-level event observed on a page.
+
+    HB wrappers fire events such as ``auctionEnd`` or ``bidWon``; the payload
+    carries the event-specific metadata (bidder, CPM, ad-unit code, ...).
+    Timestamps are milliseconds since navigation start of the page.
+    """
+
+    name: str
+    timestamp_ms: float
+    payload: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("DOM event name must be non-empty")
+        if self.timestamp_ms < 0:
+            raise ValueError("DOM event timestamp cannot be negative")
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Convenience payload accessor mirroring ``dict.get``."""
+        return self.payload.get(key, default)
+
+
+@dataclass(frozen=True)
+class WebRequest:
+    """A single entry in the browser's web-request log.
+
+    ``params`` contains the parsed query string (and, for POST bid requests,
+    the flattened body fields) exactly as a ``chrome.webRequest`` observer
+    would be able to reconstruct them.
+    """
+
+    url: str
+    method: str
+    direction: RequestDirection
+    timestamp_ms: float
+    initiator: str = ""
+    params: Mapping[str, str] = field(default_factory=dict)
+    status_code: int = 200
+
+    def __post_init__(self) -> None:
+        if not self.url:
+            raise ValueError("web request URL must be non-empty")
+        if self.timestamp_ms < 0:
+            raise ValueError("web request timestamp cannot be negative")
+
+    @property
+    def host(self) -> str:
+        """The request's host, without scheme, port, path or query."""
+        without_scheme = self.url.split("://", 1)[-1]
+        host = without_scheme.split("/", 1)[0]
+        return host.split(":", 1)[0].lower()
+
+    def matches_host(self, domains: Iterable[str]) -> bool:
+        """True if the request host equals or is a subdomain of any domain."""
+        host = self.host
+        for domain in domains:
+            domain = domain.lower()
+            if host == domain or host.endswith("." + domain):
+                return True
+        return False
+
+
+@dataclass(frozen=True)
+class PageTimings:
+    """High-level navigation timings of a simulated page load."""
+
+    navigation_start_ms: float = 0.0
+    header_parsed_ms: float = 0.0
+    dom_content_loaded_ms: float = 0.0
+    load_event_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        ordered = (
+            self.navigation_start_ms,
+            self.header_parsed_ms,
+            self.dom_content_loaded_ms,
+            self.load_event_ms,
+        )
+        if any(value < 0 for value in ordered):
+            raise ValueError("page timings cannot be negative")
+        if list(ordered) != sorted(ordered):
+            raise ValueError(f"page timings must be monotonically ordered, got {ordered}")
+
+    @property
+    def page_load_ms(self) -> float:
+        """Total page load time (navigation start to load event)."""
+        return self.load_event_ms - self.navigation_start_ms

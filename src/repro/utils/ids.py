@@ -1,0 +1,44 @@
+"""Identifier helpers: deterministic counters and slug generation."""
+
+from __future__ import annotations
+
+import itertools
+import re
+
+__all__ = ["IdFactory", "slugify"]
+
+_SLUG_RE = re.compile(r"[^a-z0-9]+")
+
+
+def slugify(text: str) -> str:
+    """Lower-case a name and replace runs of non-alphanumerics with ``-``.
+
+    >>> slugify("Index Exchange")
+    'index-exchange'
+    """
+    slug = _SLUG_RE.sub("-", text.lower()).strip("-")
+    return slug or "x"
+
+
+class IdFactory:
+    """Produce deterministic, human-readable identifiers per namespace.
+
+    Used for auction ids, bid ids and ad-unit codes so that two runs with the
+    same configuration produce byte-identical datasets.
+    """
+
+    def __init__(self, prefix: str = "") -> None:
+        self._prefix = prefix
+        self._counters: dict[str, itertools.count] = {}
+
+    def next(self, namespace: str) -> str:
+        """Return the next id in ``namespace``, e.g. ``"auction-000017"``."""
+        counter = self._counters.setdefault(namespace, itertools.count())
+        number = next(counter)
+        if self._prefix:
+            return f"{self._prefix}-{namespace}-{number:06d}"
+        return f"{namespace}-{number:06d}"
+
+    def reset(self) -> None:
+        """Forget all counters (used when a browser session is re-created)."""
+        self._counters.clear()

@@ -1,0 +1,68 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library receives an explicit
+:class:`numpy.random.Generator`.  To keep experiments reproducible while still
+letting subsystems draw independently, generators are *derived* from a parent
+seed plus a stable string key rather than shared or re-seeded ad hoc.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["derive_rng", "spawn_rngs", "stable_hash"]
+
+
+def stable_hash(*parts: object) -> int:
+    """Return a stable 64-bit hash of the given parts.
+
+    Python's builtin ``hash`` is randomised per process for strings, so it
+    cannot be used to derive reproducible seeds.  This uses blake2b over the
+    ``repr`` of each part instead.
+    """
+    digest = hashlib.blake2b(digest_size=8)
+    for part in parts:
+        digest.update(repr(part).encode("utf-8"))
+        digest.update(b"\x1f")
+    return int.from_bytes(digest.digest(), "big")
+
+
+def derive_rng(seed: int, *keys: object) -> np.random.Generator:
+    """Derive an independent generator from a base seed and a key path.
+
+    The same ``(seed, *keys)`` tuple always yields the same generator state,
+    and distinct key paths yield statistically independent streams.
+
+    >>> a = derive_rng(7, "partners", "criteo")
+    >>> b = derive_rng(7, "partners", "criteo")
+    >>> float(a.random()) == float(b.random())
+    True
+    """
+    mixed = np.random.SeedSequence([seed & 0xFFFFFFFF, stable_hash(*keys) & 0xFFFFFFFF])
+    return np.random.default_rng(mixed)
+
+
+def spawn_rngs(seed: int, keys: Iterable[object]) -> list[np.random.Generator]:
+    """Derive one generator per key, preserving the key order."""
+    return [derive_rng(seed, key) for key in keys]
+
+
+def weighted_choice(
+    rng: np.random.Generator,
+    items: Sequence[object],
+    weights: Sequence[float],
+) -> object:
+    """Pick one item with the given (not necessarily normalised) weights."""
+    if len(items) != len(weights):
+        raise ValueError("items and weights must have the same length")
+    if not items:
+        raise ValueError("cannot choose from an empty sequence")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    probabilities = np.asarray(weights, dtype=float) / total
+    index = int(rng.choice(len(items), p=probabilities))
+    return items[index]

@@ -1,0 +1,53 @@
+"""Minimal URL construction and parsing helpers.
+
+The simulated browser and the detector exchange URLs as plain strings, the
+same way a browser extension sees them.  These helpers keep query handling in
+one place so the detector's parameter extraction and the wrappers' request
+construction cannot drift apart accidentally.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+from urllib.parse import parse_qsl, quote, urlencode, urlsplit
+
+__all__ = ["build_url", "parse_query", "url_host", "url_path"]
+
+
+def build_url(host: str, path: str = "/", params: Mapping[str, object] | None = None,
+              scheme: str = "https") -> str:
+    """Assemble a URL from host, path and query parameters.
+
+    >>> build_url("ib.adnxs.com", "/ut/v3/prebid", {"hb_bidder": "appnexus"})
+    'https://ib.adnxs.com/ut/v3/prebid?hb_bidder=appnexus'
+    """
+    if not host:
+        raise ValueError("host must be non-empty")
+    if not path.startswith("/"):
+        path = "/" + path
+    encoded_path = quote(path, safe="/._-~")
+    url = f"{scheme}://{host}{encoded_path}"
+    if params:
+        url = f"{url}?{urlencode({k: str(v) for k, v in params.items()})}"
+    return url
+
+
+def parse_query(url: str) -> dict[str, str]:
+    """Parse the query string of a URL into a flat ``dict``.
+
+    Repeated keys keep the last value, matching how the HB wrappers emit their
+    key-value targeting parameters.
+    """
+    query = urlsplit(url).query
+    return dict(parse_qsl(query, keep_blank_values=True))
+
+
+def url_host(url: str) -> str:
+    """Return the lower-cased host part of a URL (no port)."""
+    netloc = urlsplit(url).netloc or url.split("/", 1)[0]
+    return netloc.split("@")[-1].split(":")[0].lower()
+
+
+def url_path(url: str) -> str:
+    """Return the path part of a URL, defaulting to ``"/"``."""
+    return urlsplit(url).path or "/"

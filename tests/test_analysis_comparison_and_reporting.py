@@ -1,0 +1,72 @@
+"""Unit tests for the HB-vs-waterfall comparison and the text reporting."""
+
+import pytest
+
+from repro.analysis import comparison
+from repro.analysis.reporting import (
+    format_ecdf,
+    format_share_rows,
+    format_summary,
+    format_table,
+    format_whisker_rows,
+)
+from repro.analysis.stats import ecdf, whisker_stats
+from repro.errors import EmptyDatasetError
+from repro.analysis.dataset import CrawlDataset
+
+
+class TestComparison:
+    def test_hb_latency_exceeds_waterfall(self, experiment_artifacts):
+        result = comparison.hb_vs_waterfall_latency(
+            experiment_artifacts.dataset,
+            list(experiment_artifacts.population),
+            experiment_artifacts.environment,
+            seed=3,
+        )
+        assert result.hb.median > result.waterfall.median
+        assert result.median_ratio > 1.0
+
+    def test_real_user_waterfall_prices_exceed_hb_baseline(self, experiment_artifacts):
+        result = comparison.hb_vs_waterfall_prices(
+            experiment_artifacts.dataset,
+            list(experiment_artifacts.population),
+            experiment_artifacts.environment,
+            seed=3,
+        )
+        assert result.waterfall_real_user.median > result.hb.median
+        assert result.real_user_median_ratio > 1.0
+
+    def test_empty_dataset_raises(self, experiment_artifacts):
+        with pytest.raises(EmptyDatasetError):
+            comparison.hb_vs_waterfall_latency(
+                CrawlDataset(), list(experiment_artifacts.population),
+                experiment_artifacts.environment,
+            )
+
+
+class TestReporting:
+    def test_format_table_aligns_columns(self):
+        text = format_table(["name", "value"], [("alpha", 1.0), ("b", 123456.0)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("name")
+        assert lines[3].startswith("alpha")
+        assert "123,456" in text
+
+    def test_format_summary_renders_key_values(self):
+        text = format_summary({"metric": 3, "rate": "12.5%"})
+        assert "metric" in text and "12.5%" in text
+
+    def test_format_whisker_rows_contains_percentiles(self):
+        stats = whisker_stats([1.0, 2.0, 3.0, 4.0])
+        text = format_whisker_rows([("group-a", stats)], unit="ms")
+        assert "median (ms)" in text
+        assert "group-a" in text
+
+    def test_format_ecdf_lists_requested_quantiles(self):
+        text = format_ecdf(ecdf([1, 2, 3, 4, 5]), quantiles=(0.5, 0.9), unit="ms")
+        assert "p50" in text and "p90" in text
+
+    def test_format_share_rows_renders_percentages(self):
+        text = format_share_rows([("DFP", 0.801)], label_header="partner")
+        assert "80.10%" in text

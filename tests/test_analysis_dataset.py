@@ -1,0 +1,91 @@
+"""Unit tests for the crawl dataset container."""
+
+import pytest
+
+from repro.analysis.dataset import CrawlDataset
+from repro.detector.records import ObservedAuction, ObservedBid, SiteDetection
+from repro.errors import EmptyDatasetError
+from repro.models import HBFacet
+
+
+def detection(domain, day=0, hb=True, facet=HBFacet.CLIENT_SIDE, partners=("AppNexus",),
+              n_bids=1, late=0, latency=500.0, rank=10):
+    bids = tuple(
+        ObservedBid(partner=partners[0], bidder_code=partners[0].lower(), slot_code="s1",
+                    cpm=0.2, size="300x250", latency_ms=200.0, late=(i < late))
+        for i in range(n_bids)
+    )
+    auctions = (ObservedAuction(slot_code="s1", size="300x250", bids=bids,
+                                start_ms=0.0, end_ms=latency, facet=facet),) if hb else ()
+    return SiteDetection(
+        domain=domain, rank=rank, hb_detected=hb, facet=facet if hb else None,
+        partners=partners if hb else (), auctions=auctions,
+        partner_latencies_ms={partners[0]: 200.0} if hb else {},
+        total_latency_ms=latency if hb else None, crawl_day=day,
+    )
+
+
+@pytest.fixture()
+def mixed_dataset():
+    return CrawlDataset.from_detections([
+        detection("a.example", day=0, facet=HBFacet.CLIENT_SIDE, n_bids=2, late=1),
+        detection("a.example", day=1, facet=HBFacet.CLIENT_SIDE, n_bids=1),
+        detection("b.example", day=0, facet=HBFacet.SERVER_SIDE, partners=("DFP",)),
+        detection("c.example", day=0, hb=False),
+    ])
+
+
+class TestCrawlDataset:
+    def test_sites_deduplicate_by_domain(self, mixed_dataset):
+        assert len(mixed_dataset) == 4
+        assert len(mixed_dataset.sites()) == 3
+        assert len(mixed_dataset.hb_sites()) == 2
+
+    def test_hb_detections_include_recrawls(self, mixed_dataset):
+        assert len(mixed_dataset.hb_detections()) == 3
+
+    def test_auctions_and_bids_flatten_across_visits(self, mixed_dataset):
+        assert len(mixed_dataset.auctions()) == 3
+        assert len(mixed_dataset.bids()) == 4
+        assert len(mixed_dataset.priced_bids()) == 4
+
+    def test_groupers(self, mixed_dataset):
+        by_facet = mixed_dataset.by_facet()
+        assert len(by_facet[HBFacet.CLIENT_SIDE]) == 1
+        assert len(by_facet[HBFacet.SERVER_SIDE]) == 1
+        assert set(mixed_dataset.bids_by_partner()) == {"AppNexus", "DFP"}
+        assert mixed_dataset.partner_site_counts() == {"AppNexus": 1, "DFP": 1}
+
+    def test_partner_latency_and_site_latency_samples(self, mixed_dataset):
+        latencies = mixed_dataset.partner_latency_samples()
+        assert len(latencies["AppNexus"]) == 2
+        site_latencies = mixed_dataset.site_latencies()
+        assert len(site_latencies["a.example"]) == 2
+
+    def test_summary_counts_match_views(self, mixed_dataset):
+        summary = mixed_dataset.summary()
+        assert summary["websites_crawled"] == 3
+        assert summary["websites_with_hb"] == 2
+        assert summary["auctions_detected"] == 3
+        assert summary["bids_detected"] == 4
+        assert summary["competing_demand_partners"] == 2
+        assert summary["crawl_days"] == 2
+        assert summary["page_visits"] == 4
+
+    def test_filter_returns_new_dataset(self, mixed_dataset):
+        only_day_zero = mixed_dataset.filter(lambda d: d.crawl_day == 0, label="day0")
+        assert len(only_day_zero) == 3
+        assert only_day_zero.label == "day0"
+        assert len(mixed_dataset) == 4  # original untouched
+
+    def test_empty_summary_raises(self):
+        with pytest.raises(EmptyDatasetError):
+            CrawlDataset().summary()
+
+    def test_extend_appends_detections(self, mixed_dataset):
+        before = len(mixed_dataset)
+        mixed_dataset.extend([detection("d.example", hb=False)])
+        assert len(mixed_dataset) == before + 1
+
+    def test_crawl_days_sorted(self, mixed_dataset):
+        assert mixed_dataset.crawl_days() == (0, 1)

@@ -1,0 +1,157 @@
+"""Unit tests for the per-figure analysis modules, run on the shared dataset.
+
+These tests exercise the analysis layer against the end-to-end experiment
+fixture, asserting the structural properties each figure relies on (shares sum
+to one, whisker statistics are ordered, groupings cover the data) as well as
+the qualitative shapes the paper reports.
+"""
+
+import pytest
+
+from repro.analysis import adoption, adslots, facets, late_bids, latency, partners, prices
+from repro.errors import EmptyDatasetError
+from repro.analysis.dataset import CrawlDataset
+from repro.models import HBFacet
+
+
+class TestAdoption:
+    def test_tiers_partition_the_population(self, dataset):
+        tiers = adoption.adoption_by_rank_tier(dataset)
+        assert sum(tier.sites for tier in tiers) == len(dataset.sites())
+        assert all(0.0 <= tier.adoption_rate <= 1.0 for tier in tiers)
+
+    def test_top_tier_has_highest_adoption(self, dataset):
+        tiers = adoption.adoption_by_rank_tier(dataset)
+        assert tiers[0].adoption_rate >= tiers[-1].adoption_rate
+
+    def test_summary_contains_overall_and_tiers(self, dataset):
+        summary = adoption.adoption_summary(dataset)
+        assert 0.05 < summary["overall"] < 0.3
+        assert any(key.startswith("tier:") for key in summary)
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(EmptyDatasetError):
+            adoption.adoption_summary(CrawlDataset())
+
+
+class TestPartners:
+    def test_popularity_shares_are_fractions_of_hb_sites(self, dataset):
+        rows = partners.partner_popularity(dataset)
+        assert rows == sorted(rows, key=lambda r: -r.sites)
+        assert all(0 < row.share_of_hb_sites <= 1 for row in rows)
+        assert rows[0].partner == "DFP"
+
+    def test_partners_per_site_ecdf_majority_single_partner(self, dataset):
+        curve = partners.partners_per_site_ecdf(dataset)
+        assert curve.fraction_at_most(1.0) > 0.35
+        assert curve.values[0] >= 1.0
+
+    def test_combinations_are_dominated_by_dfp_alone(self, dataset):
+        rows = partners.partner_combinations(dataset, top_n=10)
+        assert rows[0][0] == ("DFP",)
+        assert rows[0][1] > 0.3
+        assert all(share <= rows[0][1] + 1e-9 for _, share in rows)
+
+    def test_partners_per_facet_shares_sum_to_at_most_one(self, dataset):
+        per_facet = partners.partners_per_facet(dataset)
+        for facet, rows in per_facet.items():
+            assert sum(share for _, share in rows) <= 1.0 + 1e-9
+
+
+class TestLatency:
+    def test_total_latency_median_in_paper_ballpark(self, dataset):
+        curve = latency.total_latency_ecdf(dataset)
+        assert 200.0 < curve.median < 1_500.0
+
+    def test_rank_bins_cover_hb_sites(self, dataset):
+        rows = latency.latency_by_rank_bin(dataset, bin_size=50)
+        assert rows
+        assert all(stats.median > 0 for _, stats in rows)
+
+    def test_partner_profiles_are_sorted_by_popularity(self, dataset):
+        profiles = latency.partner_latency_profiles(dataset, min_samples=1)
+        ranks = [profile.popularity_rank for profile in profiles]
+        assert ranks == sorted(ranks)
+
+    def test_fastest_are_faster_than_slowest(self, dataset):
+        fastest = latency.fastest_partners(dataset, top_n=3, min_samples=1)
+        slowest = latency.slowest_partners(dataset, top_n=3, min_samples=1)
+        assert fastest[0].median_ms < slowest[0].median_ms
+
+    def test_latency_grows_with_partner_count(self, dataset):
+        rows = latency.latency_by_partner_count(dataset)
+        assert rows[0][0] == 1
+        single = rows[0][1].median
+        multi = [stats.median for count, stats, _ in rows if count >= 3]
+        if multi:
+            assert max(multi) > single
+        shares = [share for _, _, share in rows]
+        assert sum(shares) <= 1.0 + 1e-9
+
+    def test_popularity_bins_have_positive_latency(self, dataset):
+        rows = latency.latency_by_popularity_rank(dataset, bin_size=10)
+        assert rows
+        assert all(stats.median > 0 for _, stats in rows)
+
+
+class TestLateBids:
+    def test_late_bid_ecdf_is_percentage_scale(self, dataset):
+        curve = late_bids.late_bid_ecdf(dataset)
+        assert 0.0 < curve.values[0] <= 100.0
+        assert curve.values[-1] <= 100.0
+
+    def test_per_partner_lateness_sorted_worst_first(self, dataset):
+        rows = late_bids.late_bids_per_partner(dataset, min_bids=1)
+        shares = [row.late_share for row in rows]
+        assert shares == sorted(shares, reverse=True)
+        assert all(row.late_bids <= row.bids for row in rows)
+
+    def test_share_distribution_summary(self, dataset):
+        summary = late_bids.late_bid_share_distribution(dataset)
+        assert 0.0 <= summary["share_of_auctions_with_late_bids"] <= 1.0
+
+
+class TestAdslotsAndPrices:
+    def test_adslot_ecdf_medians_in_paper_range(self, dataset):
+        curves = adslots.adslots_per_site_ecdf(dataset)
+        for facet, curve in curves.items():
+            assert 1.0 <= curve.median <= 8.0
+
+    def test_latency_by_adslot_count_grows(self, dataset):
+        rows = adslots.latency_by_adslot_count(dataset)
+        assert rows[0][0] >= 1
+        assert all(stats.median > 0 for _, stats in rows)
+
+    def test_top_size_is_the_medium_rectangle(self, dataset):
+        shares = adslots.adslot_size_shares(dataset)
+        for facet, rows in shares.items():
+            if rows:
+                assert rows[0][0] in {"300x250", "728x90"}
+
+    def test_price_cdf_client_side_highest(self, dataset):
+        curves = prices.price_ecdf_by_facet(dataset)
+        assert set(curves) <= set(HBFacet)
+        if HBFacet.CLIENT_SIDE in curves and HBFacet.SERVER_SIDE in curves:
+            assert curves[HBFacet.CLIENT_SIDE].median >= curves[HBFacet.SERVER_SIDE].median * 0.8
+
+    def test_price_by_size_sorted_by_area(self, dataset):
+        rows = prices.price_by_size(dataset, min_bids=1)
+        from repro.models import parse_size
+
+        areas = [parse_size(label).area for label, _ in rows]
+        assert areas == sorted(areas, reverse=True)
+
+    def test_price_by_popularity_has_positive_medians(self, dataset):
+        rows = prices.price_by_popularity_rank(dataset)
+        assert all(stats.median > 0 for _, stats in rows)
+
+
+class TestFacets:
+    def test_breakdown_sums_to_one_and_server_side_leads(self, dataset):
+        breakdown = facets.facet_breakdown(dataset)
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+        assert breakdown[HBFacet.SERVER_SIDE] == max(breakdown.values())
+
+    def test_counts_match_hb_sites(self, dataset):
+        counts = facets.facet_counts(dataset)
+        assert sum(counts.values()) == len(dataset.hb_sites())

@@ -1,0 +1,104 @@
+"""Unit and property-based tests for the statistical primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import Ecdf, ecdf, histogram_shares, percentile, whisker_stats
+from repro.errors import EmptyDatasetError
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestEcdf:
+    def test_simple_ecdf_values(self):
+        curve = ecdf([3.0, 1.0, 2.0, 4.0])
+        assert curve.values == (1.0, 2.0, 3.0, 4.0)
+        assert curve.probabilities[-1] == pytest.approx(1.0)
+        assert curve.median == 2.0
+        assert curve.quantile(0.75) == 3.0
+
+    def test_fraction_helpers(self):
+        curve = ecdf([1, 2, 3, 4, 5])
+        assert curve.fraction_at_most(3) == pytest.approx(0.6)
+        assert curve.fraction_above(3) == pytest.approx(0.4)
+
+    def test_empty_input_raises(self):
+        with pytest.raises(EmptyDatasetError):
+            ecdf([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            ecdf([1.0, float("nan")])
+
+    def test_quantile_bounds(self):
+        curve = ecdf([1, 2, 3])
+        with pytest.raises(ValueError):
+            curve.quantile(0.0)
+        with pytest.raises(ValueError):
+            curve.quantile(1.5)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_probabilities_are_monotone_and_end_at_one(self, values):
+        curve = ecdf(values)
+        assert list(curve.probabilities) == sorted(curve.probabilities)
+        assert curve.probabilities[-1] == pytest.approx(1.0)
+        assert list(curve.values) == sorted(curve.values)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=200), st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_quantile_is_an_observed_value(self, values, q):
+        curve = ecdf(values)
+        assert curve.quantile(q) in curve.values
+
+
+class TestWhiskerStats:
+    def test_percentiles_are_ordered(self):
+        stats = whisker_stats(range(100))
+        assert stats.p5 <= stats.p25 <= stats.median <= stats.p75 <= stats.p95
+        assert stats.n == 100
+        assert stats.interquartile_range == pytest.approx(stats.p75 - stats.p25)
+        assert stats.spread == pytest.approx(stats.p95 - stats.p5)
+
+    def test_as_dict_has_all_keys(self):
+        stats = whisker_stats([1.0, 2.0, 3.0])
+        assert set(stats.as_dict()) == {"p5", "p25", "median", "p75", "p95", "n"}
+
+    def test_empty_input_raises(self):
+        with pytest.raises(EmptyDatasetError):
+            whisker_stats([])
+
+    @given(st.lists(finite_floats, min_size=1, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_median_matches_numpy(self, values):
+        stats = whisker_stats(values)
+        assert stats.median == pytest.approx(float(np.median(values)))
+
+    @given(st.lists(finite_floats, min_size=2, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_whiskers_bound_the_data_range(self, values):
+        stats = whisker_stats(values)
+        assert min(values) <= stats.p5 and stats.p95 <= max(values)
+
+
+class TestPercentileAndShares:
+    def test_percentile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -5)
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+    def test_percentile_interpolates(self):
+        assert percentile([0.0, 10.0], 50) == pytest.approx(5.0)
+
+    def test_histogram_shares_sum_to_one(self):
+        shares = histogram_shares(["a", "b", "a", "c", "a"])
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares["a"] == pytest.approx(0.6)
+        assert list(shares)[0] == "a"  # sorted by share, descending
+
+    def test_histogram_shares_empty_raises(self):
+        with pytest.raises(EmptyDatasetError):
+            histogram_shares([])

@@ -1,0 +1,42 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.browser.clock import SimulatedClock
+
+
+class TestSimulatedClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimulatedClock().now() == 0.0
+
+    def test_advance_accumulates(self):
+        clock = SimulatedClock()
+        clock.advance(100.0)
+        clock.advance(50.5)
+        assert clock.now() == pytest.approx(150.5)
+
+    def test_advance_rejects_negative_delta(self):
+        clock = SimulatedClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_advance_to_never_goes_backwards(self):
+        clock = SimulatedClock()
+        clock.advance(100.0)
+        clock.advance_to(50.0)
+        assert clock.now() == 100.0
+        clock.advance_to(200.0)
+        assert clock.now() == 200.0
+
+    def test_reset_returns_to_start(self):
+        clock = SimulatedClock(start_ms=10.0)
+        clock.advance(500.0)
+        clock.reset()
+        assert clock.now() == 0.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            SimulatedClock(start_ms=-1.0)
+        clock = SimulatedClock()
+        with pytest.raises(ValueError):
+            clock.reset(-5.0)

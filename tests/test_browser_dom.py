@@ -1,0 +1,59 @@
+"""Unit tests for the DOM event bus."""
+
+import pytest
+
+from repro.browser.clock import SimulatedClock
+from repro.browser.dom import DomEventBus
+
+
+@pytest.fixture()
+def bus():
+    return DomEventBus(SimulatedClock())
+
+
+class TestDomEventBus:
+    def test_emit_records_event_at_current_time(self, bus):
+        bus._clock.advance(123.0)
+        event = bus.emit("auctionEnd", {"bidsReceived": 3})
+        assert event.timestamp_ms == 123.0
+        assert bus.events == (event,)
+
+    def test_emit_with_explicit_timestamp(self, bus):
+        event = bus.emit("bidWon", timestamp_ms=55.0)
+        assert event.timestamp_ms == 55.0
+
+    def test_named_listener_receives_only_its_events(self, bus):
+        received = []
+        bus.add_listener("bidResponse", received.append)
+        bus.emit("bidResponse", {"bidder": "appnexus"})
+        bus.emit("auctionEnd")
+        assert [event.name for event in received] == ["bidResponse"]
+
+    def test_wildcard_listener_receives_everything(self, bus):
+        received = []
+        bus.add_wildcard_listener(received.append)
+        bus.emit("auctionInit")
+        bus.emit("bidWon")
+        assert [event.name for event in received] == ["auctionInit", "bidWon"]
+
+    def test_remove_listener_stops_delivery(self, bus):
+        received = []
+        bus.add_listener("bidWon", received.append)
+        bus.remove_listener("bidWon", received.append)
+        bus.emit("bidWon")
+        assert received == []
+
+    def test_events_named_filters(self, bus):
+        bus.emit("auctionInit")
+        bus.emit("bidWon")
+        bus.emit("bidWon")
+        assert len(bus.events_named("bidWon")) == 2
+        assert len(bus.events_named("auctionInit", "bidWon")) == 3
+
+    def test_len_iter_and_clear(self, bus):
+        bus.emit("auctionInit")
+        bus.emit("auctionEnd")
+        assert len(bus) == 2
+        assert [event.name for event in bus] == ["auctionInit", "auctionEnd"]
+        bus.clear()
+        assert len(bus) == 0

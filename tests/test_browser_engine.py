@@ -1,0 +1,71 @@
+"""Unit and behavioural tests for the page-load engine."""
+
+import pytest
+
+from repro.browser.engine import BrowserEngine
+from repro.hb.events import HBEventName
+from repro.models import HBFacet, RequestDirection
+
+
+class TestBrowserEngine:
+    def test_load_is_deterministic_per_visit(self, engine, hb_publisher):
+        a = engine.load(hb_publisher, visit_index=0)
+        b = engine.load(hb_publisher, visit_index=0)
+        assert [e.name for e in a.dom_events] == [e.name for e in b.dom_events]
+        assert len(a.web_requests) == len(b.web_requests)
+        assert a.timings == b.timings
+
+    def test_different_visits_differ(self, engine, hb_publisher):
+        a = engine.load(hb_publisher, visit_index=0)
+        b = engine.load(hb_publisher, visit_index=1)
+        assert a.hb_ground_truth.total_latency_ms != b.hb_ground_truth.total_latency_ms
+
+    def test_hb_page_produces_ground_truth_and_events(self, engine, hb_publisher):
+        result = engine.load(hb_publisher)
+        assert result.hb_ground_truth is not None
+        assert result.hb_ground_truth.facet is hb_publisher.facet
+        assert result.hb_ground_truth.n_auctions == hb_publisher.n_auctioned_slots
+        assert result.dom_events, "HB pages must emit DOM events"
+
+    def test_non_hb_page_has_no_hb_ground_truth(self, engine, non_hb_publisher):
+        result = engine.load(non_hb_publisher)
+        assert result.hb_ground_truth is None
+        hb_event_names = set(e.value for e in HBEventName)
+        assert not [e for e in result.dom_events if e.name in hb_event_names]
+
+    def test_page_timings_are_ordered(self, engine, hb_publisher, non_hb_publisher):
+        for publisher in (hb_publisher, non_hb_publisher):
+            timings = engine.load(publisher).timings
+            assert timings.navigation_start_ms <= timings.header_parsed_ms
+            assert timings.header_parsed_ms <= timings.dom_content_loaded_ms
+            assert timings.dom_content_loaded_ms <= timings.load_event_ms
+
+    def test_every_page_issues_web_requests(self, engine, hb_publisher, non_hb_publisher):
+        for publisher in (hb_publisher, non_hb_publisher):
+            result = engine.load(publisher)
+            outgoing = [r for r in result.web_requests if r.direction is RequestDirection.OUTGOING]
+            assert outgoing, "a page load always fetches at least its own HTML"
+            assert outgoing[0].url == publisher.url
+
+    def test_some_non_hb_pages_run_waterfall_ads(self, engine, small_population):
+        non_hb = [p for p in small_population if not p.uses_hb][:40]
+        with_ads = [engine.load(p) for p in non_hb]
+        assert any(result.waterfall_ground_truth for result in with_ads)
+
+    def test_timeout_flag_reflects_configured_budget(self, environment, hb_publisher):
+        strict = BrowserEngine(environment, seed=13, page_load_timeout_ms=10.0)
+        result = strict.load(hb_publisher)
+        assert result.timed_out
+
+    def test_rejects_invalid_timeout(self, environment):
+        with pytest.raises(ValueError):
+            BrowserEngine(environment, page_load_timeout_ms=0.0)
+
+    def test_server_side_pages_contact_single_partner_host(self, engine, server_side_publisher):
+        result = engine.load(server_side_publisher)
+        aggregator_domains = server_side_publisher.partners[0].domains
+        outgoing_hosts = {
+            r.host for r in result.web_requests
+            if r.direction is RequestDirection.OUTGOING and r.matches_host(aggregator_domains)
+        }
+        assert outgoing_hosts, "server-side page must contact its aggregator"

@@ -1,0 +1,56 @@
+"""Unit tests for the web-request log."""
+
+import pytest
+
+from repro.browser.clock import SimulatedClock
+from repro.browser.webrequest import WebRequestLog
+from repro.models import RequestDirection
+
+
+@pytest.fixture()
+def log():
+    return WebRequestLog(SimulatedClock())
+
+
+class TestWebRequestLog:
+    def test_outgoing_merges_query_and_body_params(self, log):
+        request = log.record_outgoing(
+            "https://ib.adnxs.com/ut/v3?from=query", method="post", params={"bidder": "appnexus"}
+        )
+        assert request.direction is RequestDirection.OUTGOING
+        assert request.method == "POST"
+        assert request.params["from"] == "query"
+        assert request.params["bidder"] == "appnexus"
+
+    def test_incoming_uses_response_pseudo_method(self, log):
+        response = log.record_incoming("https://ib.adnxs.com/ut/v3", params={"hb_pb": "0.50"})
+        assert response.direction is RequestDirection.INCOMING
+        assert response.method == "RESPONSE"
+        assert response.params["hb_pb"] == "0.50"
+
+    def test_record_fetch_builds_url(self, log):
+        request = log.record_fetch("cdn.example", "/lib.js", params={"v": 1})
+        assert request.url.startswith("https://cdn.example/lib.js")
+        assert request.params["v"] == "1"
+
+    def test_timestamps_come_from_clock_unless_overridden(self, log):
+        log._clock.advance(250.0)
+        auto = log.record_outgoing("https://a.example/")
+        manual = log.record_outgoing("https://a.example/", timestamp_ms=999.0)
+        assert auto.timestamp_ms == 250.0
+        assert manual.timestamp_ms == 999.0
+
+    def test_direction_views_and_host_filter(self, log):
+        log.record_outgoing("https://ib.adnxs.com/bid")
+        log.record_incoming("https://ib.adnxs.com/bid")
+        log.record_outgoing("https://cdn.example/app.js")
+        assert len(log.outgoing()) == 2
+        assert len(log.incoming()) == 1
+        assert len(log.to_hosts(["adnxs.com"])) == 2
+
+    def test_len_iter_and_clear(self, log):
+        log.record_outgoing("https://a.example/")
+        assert len(log) == 1
+        assert list(log)[0].url == "https://a.example/"
+        log.clear()
+        assert len(log) == 0

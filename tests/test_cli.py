@@ -1,0 +1,43 @@
+"""Tests for the hbrepro command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.sites == 2_000
+        assert args.days == 1
+        assert "table1" in args.figures
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--figures", "fig99"])
+
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_artifact_names(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig12" in out
+
+    def test_run_prints_requested_artifacts(self, capsys):
+        exit_code = main(["run", "--sites", "400", "--days", "0", "--seed", "7",
+                          "--figures", "table1", "facet"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Facet breakdown" in out
+
+    def test_historical_prints_adoption_series(self, capsys):
+        exit_code = main(["historical", "--sites", "150", "--seed", "3"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "2019" in out

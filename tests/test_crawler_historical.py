@@ -1,0 +1,55 @@
+"""Unit tests for the historical (Wayback) static crawl."""
+
+import pytest
+
+from repro.crawler.historical import HistoricalCrawler
+from repro.detector.static_analysis import StaticAnalyzer
+from repro.ecosystem.alexa import yearly_top_lists
+from repro.ecosystem.wayback import SnapshotArchive
+from repro.errors import CrawlError
+
+
+@pytest.fixture(scope="module")
+def crawler():
+    lists = yearly_top_lists(250, (2014, 2016, 2019), seed=11)
+    archive = SnapshotArchive(lists, seed=11)
+    return HistoricalCrawler(archive, StaticAnalyzer())
+
+
+class TestHistoricalCrawler:
+    def test_crawl_year_analyzes_every_snapshot(self, crawler):
+        yearly = crawler.crawl_year(2019)
+        assert yearly.sites_analyzed == 250
+        assert 0 < yearly.sites_with_hb < 250
+
+    def test_adoption_increases_over_years(self, crawler):
+        result = crawler.crawl()
+        series = result.adoption_series()
+        assert series[2014] < series[2019]
+        assert result.years == (2014, 2016, 2019)
+
+    def test_precision_and_recall_are_high_but_imperfect(self, crawler):
+        # Static analysis misses renamed wrappers and gpt-only (server-side)
+        # deployments, and picks up the occasional misleading script name —
+        # exactly the weaknesses the paper cites for avoiding it live.
+        yearly = crawler.crawl_year(2019)
+        assert yearly.precision > 0.8
+        assert 0.55 < yearly.recall < 1.0
+
+    def test_detections_kept_only_on_request(self, crawler):
+        without = crawler.crawl_year(2016)
+        with_records = crawler.crawl_year(2016, keep_detections=True)
+        assert without.detections == ()
+        assert len(with_records.detections) == 250
+
+    def test_subset_of_years_can_be_crawled(self, crawler):
+        result = crawler.crawl(years=(2016,))
+        assert result.years == (2016,)
+
+    def test_unknown_year_raises(self, crawler):
+        with pytest.raises(CrawlError):
+            crawler.crawl_year(1999)
+
+    def test_accuracy_counters_are_consistent(self, crawler):
+        yearly = crawler.crawl_year(2019)
+        assert yearly.true_positives + yearly.false_positives == yearly.sites_with_hb

@@ -1,0 +1,49 @@
+"""Unit tests for the longitudinal crawl scheduler."""
+
+import pytest
+
+from repro.crawler.crawler import CrawlConfig, Crawler
+from repro.crawler.scheduler import LongitudinalScheduler
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def longitudinal(environment, detector, small_population):
+    crawler = Crawler(environment, detector, CrawlConfig(seed=9))
+    scheduler = LongitudinalScheduler(crawler, recrawl_days=2)
+    return scheduler.run(small_population, domains=small_population.domains[:150])
+
+
+class TestLongitudinalScheduler:
+    def test_discovery_covers_requested_domains(self, longitudinal):
+        assert longitudinal.discovery.pages_visited == 150
+
+    def test_daily_recrawls_only_visit_hb_sites(self, longitudinal):
+        hb_domains = set(longitudinal.discovery.hb_domains)
+        assert longitudinal.n_days == 2
+        for daily in longitudinal.daily_results:
+            assert {d.domain for d in daily.detections} == hb_domains
+
+    def test_crawl_days_are_tagged(self, longitudinal):
+        days = {d.crawl_day for d in longitudinal.all_detections}
+        assert days == {0, 1, 2}
+
+    def test_total_pages_add_up(self, longitudinal):
+        expected = 150 + 2 * len(longitudinal.discovery.hb_domains)
+        assert longitudinal.pages_visited == expected
+        assert len(longitudinal.all_detections) == expected
+
+    def test_hb_detections_view(self, longitudinal):
+        assert all(d.hb_detected for d in longitudinal.hb_detections)
+
+    def test_zero_recrawl_days_is_allowed(self, environment, detector, small_population):
+        crawler = Crawler(environment, detector)
+        scheduler = LongitudinalScheduler(crawler, recrawl_days=0)
+        result = scheduler.run(small_population, domains=small_population.domains[:20])
+        assert result.n_days == 0
+        assert result.pages_visited == 20
+
+    def test_negative_recrawl_days_rejected(self, environment, detector):
+        crawler = Crawler(environment, detector)
+        with pytest.raises(ConfigurationError):
+            LongitudinalScheduler(crawler, recrawl_days=-1)

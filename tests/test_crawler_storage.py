@@ -1,0 +1,77 @@
+"""Unit tests for crawl dataset persistence."""
+
+import json
+
+import pytest
+
+from repro.crawler.storage import CrawlStorage, detection_from_dict, detection_to_dict
+from repro.detector.records import ObservedAuction, ObservedBid, SiteDetection
+from repro.errors import StorageError
+from repro.models import HBFacet
+
+
+def sample_detection(domain="pub.example", day=0):
+    bid = ObservedBid(partner="AppNexus", bidder_code="appnexus", slot_code="s1",
+                      cpm=0.31, size="300x250", latency_ms=210.0, won=True)
+    auction = ObservedAuction(slot_code="s1", size="300x250", bids=(bid,),
+                              start_ms=100.0, end_ms=650.0, facet=HBFacet.HYBRID)
+    return SiteDetection(
+        domain=domain, rank=42, hb_detected=True, facet=HBFacet.HYBRID, library="prebid.js",
+        partners=("DFP", "AppNexus"), auctions=(auction,),
+        partner_latencies_ms={"AppNexus": 210.0}, total_latency_ms=550.0,
+        detection_channels=("dom-events", "web-requests"), crawl_day=day, page_load_ms=4200.0,
+    )
+
+
+class TestSerialisation:
+    def test_round_trip_preserves_everything(self):
+        original = sample_detection()
+        restored = detection_from_dict(detection_to_dict(original))
+        assert restored == original
+
+    def test_non_hb_detection_round_trips(self):
+        original = SiteDetection(domain="plain.example", rank=7, hb_detected=False)
+        assert detection_from_dict(detection_to_dict(original)) == original
+
+    def test_malformed_record_raises_storage_error(self):
+        with pytest.raises(StorageError):
+            detection_from_dict({"domain": "x.example"})
+
+
+class TestCrawlStorage:
+    def test_save_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "crawl.jsonl"
+        storage = CrawlStorage(path)
+        detections = [sample_detection(), sample_detection("other.example", day=3)]
+        assert storage.save(detections) == 2
+        loaded = storage.load()
+        assert loaded == detections
+
+    def test_append_adds_records(self, tmp_path):
+        storage = CrawlStorage(tmp_path / "crawl.jsonl")
+        storage.save([sample_detection()])
+        storage.append([sample_detection("late.example", day=1)])
+        assert len(storage.load()) == 2
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "crawl.jsonl"
+        storage = CrawlStorage(path)
+        storage.save([sample_detection()])
+        path.write_text(path.read_text() + "\n\n", encoding="utf-8")
+        assert len(storage.load()) == 1
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(StorageError):
+            CrawlStorage(tmp_path / "missing.jsonl").load()
+
+    def test_invalid_json_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "crawl.jsonl"
+        path.write_text('{"domain": "x"}\nnot json\n', encoding="utf-8")
+        with pytest.raises(StorageError):
+            CrawlStorage(path).load()
+
+    def test_saved_file_is_valid_json_lines(self, tmp_path):
+        path = tmp_path / "crawl.jsonl"
+        CrawlStorage(path).save([sample_detection()])
+        for line in path.read_text(encoding="utf-8").splitlines():
+            json.loads(line)

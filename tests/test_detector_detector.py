@@ -1,0 +1,103 @@
+"""Behavioural tests for the combined HBDetector against simulation ground truth."""
+
+import pytest
+
+from repro.detector.detector import HBDetector
+from repro.detector.partner_list import build_known_partner_list
+from repro.models import HBFacet
+
+
+@pytest.fixture(scope="module")
+def detections(engine, detector, small_population):
+    """Detections plus ground truth for a slice of the shared population."""
+    pairs = []
+    for publisher in list(small_population)[:250]:
+        result = engine.load(publisher)
+        pairs.append((publisher, result, detector.inspect_page(result)))
+    return pairs
+
+
+class TestDetectionAccuracy:
+    def test_no_false_positives(self, detections):
+        false_positives = [p.domain for p, _, d in detections if d.hb_detected and not p.uses_hb]
+        assert false_positives == []
+
+    def test_high_recall(self, detections):
+        hb = [(p, d) for p, _, d in detections if p.uses_hb]
+        recall = sum(1 for _, d in hb if d.hb_detected) / len(hb)
+        assert recall >= 0.9
+
+    def test_facet_classification_mostly_correct(self, detections):
+        classified = [(p, d) for p, _, d in detections if p.uses_hb and d.hb_detected]
+        accuracy = sum(1 for p, d in classified if d.facet == p.facet) / len(classified)
+        assert accuracy >= 0.85
+
+    def test_detected_partners_are_a_subset_of_configured_plus_internal(self, detections, registry):
+        known_names = set(registry.names)
+        for publisher, _, detection in detections:
+            if not detection.hb_detected:
+                continue
+            assert set(detection.partners) <= known_names
+            # Visible partners must include the configured aggregator/partners
+            # that the page actually contacted.
+            if publisher.facet in (HBFacet.CLIENT_SIDE, HBFacet.HYBRID):
+                assert set(publisher.partner_names) & set(detection.partners)
+
+    def test_latency_close_to_ground_truth(self, detections):
+        errors = []
+        for publisher, result, detection in detections:
+            truth = result.hb_ground_truth
+            if truth is None or detection.total_latency_ms is None:
+                continue
+            errors.append(abs(detection.total_latency_ms - truth.total_latency_ms)
+                          / max(truth.total_latency_ms, 1.0))
+        assert errors, "expected at least some latency comparisons"
+        assert sorted(errors)[len(errors) // 2] < 0.25  # median relative error < 25%
+
+    def test_auction_counts_match_auctioned_slots(self, detections):
+        checked = 0
+        for publisher, _, detection in detections:
+            if not (publisher.uses_hb and detection.hb_detected):
+                continue
+            assert detection.n_auctions <= publisher.n_auctioned_slots + 1
+            if publisher.facet is not HBFacet.SERVER_SIDE:
+                assert detection.n_auctions >= publisher.n_display_slots
+            checked += 1
+        assert checked > 0
+
+    def test_detected_bids_never_exceed_ground_truth(self, detections):
+        for publisher, result, detection in detections:
+            truth = result.hb_ground_truth
+            if truth is None or not detection.hb_detected:
+                continue
+            assert detection.n_bids <= len(truth.received_bids)
+
+    def test_detection_channels_reported(self, detections):
+        for publisher, _, detection in detections:
+            if detection.hb_detected:
+                assert detection.detection_channels
+                assert "web-requests" in detection.detection_channels
+
+
+class TestDetectorConfiguration:
+    def test_lower_coverage_reduces_recall_but_not_precision(self, engine, small_population, registry):
+        narrow = HBDetector(build_known_partner_list(registry, coverage=0.2, seed=1))
+        full = HBDetector(build_known_partner_list(registry))
+        narrow_hits = full_hits = false_positives = 0
+        publishers = list(small_population)[:150]
+        for publisher in publishers:
+            result = engine.load(publisher)
+            narrow_detection = narrow.inspect_page(result)
+            full_detection = full.inspect_page(result)
+            if narrow_detection.hb_detected and not publisher.uses_hb:
+                false_positives += 1
+            narrow_hits += int(narrow_detection.hb_detected and publisher.uses_hb)
+            full_hits += int(full_detection.hb_detected and publisher.uses_hb)
+        assert false_positives == 0
+        assert narrow_hits <= full_hits
+
+    def test_inspect_page_sets_crawl_day(self, engine, detector, hb_publisher):
+        result = engine.load(hb_publisher)
+        detection = detector.inspect_page(result, crawl_day=7)
+        assert detection.crawl_day == 7
+        assert detection.page_load_ms == pytest.approx(result.page_load_ms)

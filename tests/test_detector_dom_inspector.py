@@ -1,0 +1,64 @@
+"""Unit tests for the DOM-event inspector."""
+
+import pytest
+
+from repro.detector.dom_inspector import DomEventInspector
+from repro.models import DomEvent
+
+
+def event(name, t=0.0, **payload):
+    return DomEvent(name=name, timestamp_ms=t, payload=payload)
+
+
+@pytest.fixture()
+def inspector():
+    return DomEventInspector()
+
+
+class TestDomEventInspector:
+    def test_lifecycle_events_prove_hb(self, inspector):
+        observations = inspector.inspect([event("auctionInit", 10.0, auctionId="a", library="prebid.js")])
+        assert observations.hb_events_seen
+        assert observations.library == "prebid.js"
+        assert observations.auction_ids == ["a"]
+        assert observations.auction_started_at_ms == 10.0
+
+    def test_render_events_alone_are_not_proof(self, inspector):
+        observations = inspector.inspect([event("slotRenderEnded", 5.0, adUnitCode="s", size="300x250")])
+        assert not observations.hb_events_seen
+        assert observations.rendered_slots == {"s": None}
+
+    def test_bid_response_and_bid_won_are_collected(self, inspector):
+        observations = inspector.inspect([
+            event("bidResponse", 100.0, bidder="appnexus", adUnitCode="s1", cpm=0.4,
+                  size="300x250", timeToRespond=210.0),
+            event("bidWon", 400.0, bidder="appnexus", adUnitCode="s1", cpm=0.4, size="300x250"),
+        ])
+        assert len(observations.bids) == 2
+        assert observations.bidders_seen == ("appnexus",)
+        assert len(observations.winning_bids) == 1
+        assert observations.bids[0].time_to_respond_ms == pytest.approx(210.0)
+
+    def test_timeout_event_lists_bidders(self, inspector):
+        observations = inspector.inspect([event("bidTimeout", 300.0, bidders=["sovrn", "criteo"])])
+        assert observations.timed_out_bidders == ["sovrn", "criteo"]
+
+    def test_auction_end_sets_end_and_derives_start(self, inspector):
+        observations = inspector.inspect([event("auctionEnd", 800.0, auctionDuration=600.0)])
+        assert observations.auction_ended_at_ms == 800.0
+        assert observations.auction_started_at_ms == pytest.approx(200.0)
+
+    def test_failed_render_is_tracked(self, inspector):
+        observations = inspector.inspect([event("adRenderFailed", 900.0, adUnitCode="s2", reason="x")])
+        assert observations.failed_slots == ["s2"]
+
+    def test_unknown_events_are_ignored(self, inspector):
+        observations = inspector.inspect([event("click", 1.0), event("scroll", 2.0)])
+        assert not observations.hb_events_seen
+        assert not observations.bids
+
+    def test_missing_numeric_payloads_become_none(self, inspector):
+        observations = inspector.inspect([event("bidResponse", 10.0, bidder="ix", adUnitCode="s")])
+        bid = observations.bids[0]
+        assert bid.cpm is None
+        assert bid.time_to_respond_ms is None

@@ -1,0 +1,80 @@
+"""Unit tests for facet classification from observations."""
+
+import pytest
+
+from repro.detector.dom_inspector import DomEventInspector
+from repro.detector.facets import classify_facet
+from repro.detector.partner_list import build_known_partner_list
+from repro.detector.webrequest_inspector import WebRequestInspector
+from repro.models import DomEvent, HBFacet, RequestDirection, WebRequest
+
+
+def outgoing(url, t, params=None):
+    return WebRequest(url=url, method="POST", direction=RequestDirection.OUTGOING,
+                      timestamp_ms=t, params=params or {})
+
+
+def incoming(url, t, params=None):
+    return WebRequest(url=url, method="RESPONSE", direction=RequestDirection.INCOMING,
+                      timestamp_ms=t, params=params or {})
+
+
+def dom_event(name, t=0.0, **payload):
+    return DomEvent(name=name, timestamp_ms=t, payload=payload)
+
+
+@pytest.fixture(scope="module")
+def inspectors(registry):
+    return DomEventInspector(), WebRequestInspector(build_known_partner_list(registry))
+
+
+def classify(inspectors, events, requests):
+    dom_inspector, web_inspector = inspectors
+    return classify_facet(dom_inspector.inspect(events), web_inspector.inspect(requests))
+
+
+class TestClassifyFacet:
+    def test_no_evidence_returns_none(self, inspectors):
+        assert classify(inspectors, [], [outgoing("https://cdn.example/app.js", 1.0)]) is None
+
+    def test_client_side_push_to_own_ad_server(self, inspectors):
+        events = [dom_event("bidResponse", 200.0, bidder="appnexus", adUnitCode="s", cpm=0.2)]
+        requests = [
+            outgoing("https://ib.adnxs.com/hb/bid", 100.0),
+            incoming("https://ib.adnxs.com/hb/bid", 300.0, {"hb_cpm_s": "0.2"}),
+            outgoing("https://ads.pub.example/gampad/ads", 400.0, {"hb_bidder_s": "appnexus"}),
+            incoming("https://ads.pub.example/gampad/ads", 500.0),
+        ]
+        assert classify(inspectors, events, requests) is HBFacet.CLIENT_SIDE
+
+    def test_hybrid_push_to_known_partner_ad_server(self, inspectors):
+        events = [dom_event("bidResponse", 200.0, bidder="criteo", adUnitCode="s", cpm=0.3)]
+        requests = [
+            outgoing("https://criteo.com/hb/bid", 100.0),
+            incoming("https://criteo.com/hb/bid", 280.0, {"hb_cpm_s": "0.3"}),
+            outgoing("https://doubleclick.net/gampad/ads", 400.0, {"hb_pb_s": "0.30"}),
+            incoming("https://doubleclick.net/gampad/render", 600.0,
+                     {"hb_bidder": "rubicon", "slot": "s"}),
+        ]
+        assert classify(inspectors, events, requests) is HBFacet.HYBRID
+
+    def test_server_side_single_partner_with_hb_responses(self, inspectors):
+        requests = [
+            outgoing("https://doubleclick.net/gampad/ads", 100.0, {"correlator": "1"}),
+            incoming("https://doubleclick.net/gampad/ads", 400.0,
+                     {"hb_bidder": "appnexus", "hb_pb": "0.10", "slot": "s"}),
+        ]
+        assert classify(inspectors, [], requests) is HBFacet.SERVER_SIDE
+
+    def test_wrapper_events_without_known_partners_default_to_client_side(self, inspectors):
+        events = [dom_event("auctionInit", 10.0, auctionId="a"),
+                  dom_event("auctionEnd", 500.0, auctionId="a")]
+        requests = [outgoing("https://unknown-bidder.example/bid", 50.0)]
+        assert classify(inspectors, events, requests) is HBFacet.CLIENT_SIDE
+
+    def test_waterfall_notifications_are_not_hb(self, inspectors):
+        requests = [
+            outgoing("https://rubiconproject.com/rtb/win", 100.0,
+                     {"price": "0.5", "imp_id": "slot"}),
+        ]
+        assert classify(inspectors, [], requests) is None

@@ -1,0 +1,63 @@
+"""Unit tests for HB parameter extraction."""
+
+import pytest
+
+from repro.detector.parameters import extract_hb_parameters, has_hb_parameters
+from repro.models import RequestDirection, WebRequest
+
+
+def make_request(params):
+    return WebRequest(url="https://example.com/x", method="GET",
+                      direction=RequestDirection.OUTGOING, timestamp_ms=1.0, params=params)
+
+
+class TestExtractHbParameters:
+    def test_global_keys_are_collected(self):
+        params = extract_hb_parameters({"hb_bidder": "appnexus", "hb_pb": "0.50", "other": "x"})
+        assert params.global_values == {"hb_bidder": "appnexus", "hb_pb": "0.50"}
+        assert not params.per_slot
+
+    def test_slot_suffixed_keys_are_grouped_per_slot(self):
+        params = extract_hb_parameters({
+            "hb_bidder_div-1": "criteo",
+            "hb_pb_div-1": "0.20",
+            "hb_bidder_div-2": "rubicon",
+            "hb_size_div-2": "728x90",
+        })
+        assert set(params.slot_codes) == {"div-1", "div-2"}
+        assert params.bidder_for_slot("div-1") == "criteo"
+        assert params.bidder_for_slot("div-2") == "rubicon"
+        assert params.size_for_slot("div-2") == "728x90"
+
+    def test_slot_codes_with_underscores_and_dots_survive(self):
+        params = extract_hb_parameters({"hb_cpm_div-gpt-ad-site-000123.example-0": "0.03"})
+        assert params.slot_codes == ("div-gpt-ad-site-000123.example-0",)
+        assert params.price_for_slot("div-gpt-ad-site-000123.example-0") == pytest.approx(0.03)
+
+    def test_price_prefers_cpm_over_bucket(self):
+        params = extract_hb_parameters({"hb_cpm_slot": "0.456", "hb_pb_slot": "0.45"})
+        assert params.price_for_slot("slot") == pytest.approx(0.456)
+
+    def test_price_falls_back_to_global_bucket(self):
+        params = extract_hb_parameters({"hb_pb": "0.45", "hb_bidder_slot": "ix"})
+        assert params.price_for_slot("slot") == pytest.approx(0.45)
+
+    def test_unparseable_price_returns_none(self):
+        params = extract_hb_parameters({"hb_pb_slot": "free"})
+        assert params.price_for_slot("slot") is None
+
+    def test_empty_when_no_hb_keys(self):
+        params = extract_hb_parameters({"price": "1.0", "auction_id": "x"})
+        assert params.is_empty
+
+
+class TestHasHbParameters:
+    def test_true_for_suffixed_and_plain_keys(self):
+        assert has_hb_parameters(make_request({"hb_bidder": "appnexus"}))
+        assert has_hb_parameters(make_request({"hb_size_slot-3": "300x250"}))
+
+    def test_false_for_rtb_notification_params(self):
+        assert not has_hb_parameters(make_request({"price": "0.5", "imp_id": "slot"}))
+
+    def test_false_for_lookalike_keys(self):
+        assert not has_hb_parameters(make_request({"hbx_token": "1", "habit": "2"}))

@@ -1,0 +1,47 @@
+"""Unit tests for the detector's known-partner list."""
+
+import pytest
+
+from repro.detector.partner_list import KnownPartnerList, build_known_partner_list
+from repro.errors import ConfigurationError
+
+
+class TestKnownPartnerList:
+    def test_full_coverage_lists_every_registry_partner(self, registry):
+        known = build_known_partner_list(registry)
+        assert len(known) == len(registry)
+        assert set(known.partner_names) == set(registry.names)
+
+    def test_match_host_resolves_subdomains(self, registry):
+        known = build_known_partner_list(registry)
+        assert known.match_host("ib.adnxs.com") == "AppNexus"
+        assert known.match_host("adnxs.com") == "AppNexus"
+        assert known.match_host("securepubads.doubleclick.net") == "DFP"
+        assert known.match_host("unknown.example") is None
+
+    def test_bidder_code_resolution(self, registry):
+        known = build_known_partner_list(registry)
+        assert known.name_for_bidder_code("appnexus") == "AppNexus"
+        assert known.name_for_bidder_code("ix") == "Index"
+        assert known.name_for_bidder_code("missing") is None
+
+    def test_partial_coverage_drops_partners_but_keeps_big_players(self, registry):
+        known = build_known_partner_list(registry, coverage=0.5, seed=1)
+        assert len(known) == pytest.approx(len(registry) * 0.5, abs=1)
+        for big in ("DFP", "AppNexus", "Rubicon", "Criteo"):
+            assert known.contains_partner(big)
+
+    def test_partial_coverage_is_deterministic_per_seed(self, registry):
+        a = build_known_partner_list(registry, coverage=0.6, seed=3)
+        b = build_known_partner_list(registry, coverage=0.6, seed=3)
+        assert a.partner_names == b.partner_names
+
+    def test_invalid_coverage_rejected(self, registry):
+        with pytest.raises(ConfigurationError):
+            build_known_partner_list(registry, coverage=0.0)
+        with pytest.raises(ConfigurationError):
+            build_known_partner_list(registry, coverage=1.5)
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KnownPartnerList([])

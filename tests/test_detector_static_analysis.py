@@ -1,0 +1,82 @@
+"""Unit tests for the static HTML analyzer."""
+
+import pytest
+
+from repro.detector.static_analysis import DEFAULT_LIBRARY_PATTERNS, StaticAnalyzer
+
+
+HB_PAGE = """
+<html><head>
+  <script async src="https://cdn.jsdelivr.net/npm/prebid.js@2.44/dist/prebid.js"></script>
+  <script src="https://cdn.example/jquery.js"></script>
+</head><body></body></html>
+"""
+
+PLAIN_PAGE = """
+<html><head>
+  <script src="https://cdn.example/jquery.js"></script>
+  <script src="https://www.google-analytics.com/analytics.js"></script>
+</head><body>no ads here</body></html>
+"""
+
+MISLEADING_PAGE = """
+<html><head>
+  <script src="https://cdn.example/auction-widget-headerbid-theme.js"></script>
+</head><body></body></html>
+"""
+
+RENAMED_PAGE = """
+<html><head>
+  <script src="https://pub.example/static/bundle-123.min.js"></script>
+</head><body></body></html>
+"""
+
+
+@pytest.fixture()
+def analyzer():
+    return StaticAnalyzer()
+
+
+class TestStaticAnalyzer:
+    def test_detects_prebid_script_tag(self, analyzer):
+        detection = analyzer.analyze("pub.example", HB_PAGE)
+        assert detection.hb_detected
+        assert any("prebid" in pattern for pattern in detection.matched_patterns)
+        assert detection.n_matches == 1
+
+    def test_plain_page_is_negative(self, analyzer):
+        assert not analyzer.analyze("plain.example", PLAIN_PAGE).hb_detected
+
+    def test_misleading_script_name_is_a_false_positive(self, analyzer):
+        # This is exactly the weakness of static analysis the paper describes.
+        assert analyzer.analyze("tricky.example", MISLEADING_PAGE).hb_detected
+
+    def test_renamed_wrapper_is_a_false_negative(self, analyzer):
+        assert not analyzer.analyze("renamed.example", RENAMED_PAGE).hb_detected
+
+    def test_script_sources_are_extracted(self, analyzer):
+        sources = analyzer.script_sources(HB_PAGE)
+        assert len(sources) == 2
+        assert sources[0].endswith("prebid.js")
+
+    def test_analyze_many_preserves_order(self, analyzer):
+        results = analyzer.analyze_many([("a.example", HB_PAGE), ("b.example", PLAIN_PAGE)])
+        assert [r.domain for r in results] == ["a.example", "b.example"]
+        assert [r.hb_detected for r in results] == [True, False]
+
+    def test_custom_patterns_replace_defaults(self):
+        analyzer = StaticAnalyzer(patterns=(r"adzerk\.js",))
+        assert not analyzer.analyze("pub.example", HB_PAGE).hb_detected
+        assert analyzer.patterns == (r"adzerk\.js",)
+
+    def test_gpt_alone_is_not_treated_as_hb(self, analyzer):
+        gpt_page = '<script src="https://www.googletagservices.com/tag/js/gpt.js"></script>'
+        assert not analyzer.analyze("gpt.example", gpt_page).hb_detected
+
+    def test_requires_at_least_one_pattern(self):
+        with pytest.raises(ValueError):
+            StaticAnalyzer(patterns=())
+
+    def test_default_patterns_cover_known_wrappers(self):
+        joined = " ".join(DEFAULT_LIBRARY_PATTERNS)
+        assert "prebid" in joined and "pubfood" in joined

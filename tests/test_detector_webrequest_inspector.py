@@ -1,0 +1,90 @@
+"""Unit tests for the web-request inspector."""
+
+import pytest
+
+from repro.detector.partner_list import build_known_partner_list
+from repro.detector.webrequest_inspector import WebRequestInspector
+from repro.models import RequestDirection, WebRequest
+
+
+def outgoing(url, t, params=None):
+    return WebRequest(url=url, method="POST", direction=RequestDirection.OUTGOING,
+                      timestamp_ms=t, params=params or {})
+
+
+def incoming(url, t, params=None):
+    return WebRequest(url=url, method="RESPONSE", direction=RequestDirection.INCOMING,
+                      timestamp_ms=t, params=params or {})
+
+
+@pytest.fixture(scope="module")
+def inspector(registry):
+    return WebRequestInspector(build_known_partner_list(registry))
+
+
+class TestWebRequestInspector:
+    def test_pairs_requests_and_responses_per_partner(self, inspector):
+        observations = inspector.inspect([
+            outgoing("https://ib.adnxs.com/hb/bid", 100.0, {"bidder": "appnexus"}),
+            incoming("https://ib.adnxs.com/hb/bid", 420.0, {"bidder": "appnexus", "hb_cpm_s1": "0.3"}),
+        ])
+        assert observations.partners_contacted == ("AppNexus",)
+        assert observations.partner_latencies_ms["AppNexus"] == pytest.approx(320.0)
+        assert observations.first_partner_request_at_ms == 100.0
+        exchange = observations.exchanges[0]
+        assert exchange.carries_hb_response
+
+    def test_ad_server_push_to_unknown_host_is_client_side_marker(self, inspector):
+        observations = inspector.inspect([
+            outgoing("https://ads.pub.example/gampad/ads", 600.0, {"hb_bidder_s1": "appnexus"}),
+            incoming("https://ads.pub.example/gampad/ads", 700.0, {"status": "filled"}),
+        ])
+        assert observations.ad_server_push is not None
+        assert not observations.ad_server_is_known_partner
+        assert observations.ad_server_partner is None
+        assert observations.ad_server_response_at_ms == 700.0
+
+    def test_ad_server_push_to_known_partner_is_attributed(self, inspector):
+        observations = inspector.inspect([
+            outgoing("https://doubleclick.net/gampad/ads", 500.0, {"hb_pb_s1": "0.20"}),
+            incoming("https://doubleclick.net/gampad/render", 650.0,
+                     {"hb_bidder": "rubicon", "slot": "s1"}),
+        ])
+        assert observations.ad_server_is_known_partner
+        assert observations.ad_server_partner == "DFP"
+        assert observations.hb_responses
+        partner, timestamp, params = observations.hb_responses[0]
+        assert partner == "DFP"
+        assert params.global_values["hb_bidder"] == "rubicon"
+
+    def test_win_notifications_are_not_mistaken_for_the_push(self, inspector):
+        observations = inspector.inspect([
+            outgoing("https://ib.adnxs.com/hb/win", 900.0, {"hb_bidder": "appnexus", "event": "win"}),
+        ])
+        assert observations.ad_server_push is None
+
+    def test_plain_third_party_traffic_is_ignored(self, inspector):
+        observations = inspector.inspect([
+            outgoing("https://www.google-analytics.com/analytics.js", 10.0),
+            incoming("https://cdn.example/site.css", 20.0),
+        ])
+        assert not observations.exchanges
+        assert not observations.any_hb_traffic
+
+    def test_response_without_matching_request_still_creates_exchange(self, inspector):
+        observations = inspector.inspect([
+            incoming("https://rubiconproject.com/hb/bid", 300.0, {"hb_cpm_s2": "0.2"}),
+        ])
+        exchange = observations.exchanges[0]
+        assert exchange.partner == "Rubicon"
+        assert exchange.request_at_ms is None
+        assert exchange.latency_ms is None
+
+    def test_first_exchange_latency_wins_for_partner(self, inspector):
+        observations = inspector.inspect([
+            outgoing("https://criteo.com/hb/bid", 100.0),
+            incoming("https://criteo.com/hb/bid", 250.0),
+            outgoing("https://criteo.com/hb/bid", 400.0),
+            incoming("https://criteo.com/hb/bid", 900.0),
+        ])
+        assert observations.partner_latencies_ms["Criteo"] == pytest.approx(150.0)

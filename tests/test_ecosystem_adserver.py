@@ -1,0 +1,93 @@
+"""Unit tests for the publisher ad-server decision engine."""
+
+import numpy as np
+import pytest
+
+from repro.ecosystem.adserver import AdServer, LineItem
+from repro.errors import ConfigurationError
+from repro.models import AdSlot, AdSlotSize, SaleChannel
+
+
+@pytest.fixture()
+def slot():
+    return AdSlot(code="slot-1", primary_size=AdSlotSize(300, 250), floor_cpm=0.05)
+
+
+@pytest.fixture()
+def ad_server(registry):
+    return AdServer(registry.get("DFP"), fallback_cpm=0.01, fallback_fill_probability=1.0)
+
+
+class TestLineItem:
+    def test_matches_requires_remaining_impressions(self, slot):
+        spent = LineItem(advertiser="brand", cpm=1.0, remaining_impressions=0)
+        assert not spent.matches(slot)
+
+    def test_matches_respects_size_targeting(self, slot):
+        targeted = LineItem(advertiser="brand", cpm=1.0, remaining_impressions=10,
+                            eligible_sizes=("728x90",))
+        assert not targeted.matches(slot)
+        broad = LineItem(advertiser="brand", cpm=1.0, remaining_impressions=10)
+        assert broad.matches(slot)
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ConfigurationError):
+            LineItem(advertiser="x", cpm=-1.0, remaining_impressions=1)
+        with pytest.raises(ConfigurationError):
+            LineItem(advertiser="x", cpm=1.0, remaining_impressions=-1)
+
+
+class TestAdServerDecisions:
+    def test_header_bid_wins_when_it_clears_floor(self, ad_server, slot, rng):
+        decision = ad_server.decide(rng, slot, {"appnexus": 0.8, "criteo": 0.3})
+        assert decision.channel is SaleChannel.HEADER_BIDDING
+        assert decision.winner == "appnexus"
+        assert decision.clearing_cpm == pytest.approx(0.8)
+        assert decision.considered_header_bids == 2
+
+    def test_bid_below_floor_loses_to_fallback(self, ad_server, slot, rng):
+        decision = ad_server.decide(rng, slot, {"appnexus": 0.01})
+        assert decision.channel is SaleChannel.FALLBACK
+        assert decision.filled
+
+    def test_direct_order_beats_lower_header_bid(self, registry, slot, rng):
+        server = AdServer(registry.get("DFP"),
+                          line_items=[LineItem(advertiser="SuperBowlBrand", cpm=2.0,
+                                               remaining_impressions=100)])
+        decision = server.decide(rng, slot, {"appnexus": 0.8})
+        assert decision.channel is SaleChannel.DIRECT_ORDER
+        assert decision.winner == "SuperBowlBrand"
+
+    def test_header_bid_beats_cheaper_direct_order(self, registry, slot, rng):
+        server = AdServer(registry.get("DFP"),
+                          line_items=[LineItem(advertiser="SmallBrand", cpm=0.2,
+                                               remaining_impressions=100)])
+        decision = server.decide(rng, slot, {"appnexus": 0.8})
+        assert decision.channel is SaleChannel.HEADER_BIDDING
+
+    def test_no_bids_no_direct_order_may_leave_house_ad(self, registry, slot, rng):
+        server = AdServer(registry.get("DFP"), fallback_fill_probability=0.0)
+        decision = server.decide(rng, slot, {})
+        assert decision.channel is SaleChannel.HOUSE
+        assert not decision.filled
+
+    def test_latency_sample_is_positive_and_scales(self, ad_server):
+        rng_a, rng_b = np.random.default_rng(1), np.random.default_rng(1)
+        fast = np.median([ad_server.sample_latency(rng_a, scale=0.5) for _ in range(300)])
+        slow = np.median([ad_server.sample_latency(rng_b, scale=1.0) for _ in range(300)])
+        assert 0 < fast < slow
+
+    def test_consume_direct_order_decrements_budget(self, registry, slot, rng):
+        server = AdServer(registry.get("DFP"),
+                          line_items=[LineItem(advertiser="Brand", cpm=1.0, remaining_impressions=1)])
+        first = server.decide(rng, slot, {})
+        assert first.channel is SaleChannel.DIRECT_ORDER
+        server.consume_direct_order("Brand")
+        second = server.decide(rng, slot, {})
+        assert second.channel is not SaleChannel.DIRECT_ORDER
+
+    def test_rejects_invalid_configuration(self, registry):
+        with pytest.raises(ConfigurationError):
+            AdServer(registry.get("DFP"), response_latency_median_ms=0.0)
+        with pytest.raises(ConfigurationError):
+            AdServer(registry.get("DFP"), fallback_fill_probability=2.0)

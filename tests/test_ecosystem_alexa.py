@@ -1,0 +1,77 @@
+"""Unit tests for Alexa-style top-list generation."""
+
+import pytest
+
+from repro.ecosystem.alexa import (
+    TopList,
+    TopListEntry,
+    generate_top_list,
+    overlap_fraction,
+    yearly_top_lists,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTopList:
+    def test_generate_produces_requested_size(self):
+        top = generate_top_list(100)
+        assert len(top) == 100
+        assert top.domains[0] == "site-000001.example"
+
+    def test_entries_must_be_sorted(self):
+        with pytest.raises(ConfigurationError):
+            TopList("bad", [TopListEntry(2, "b.example"), TopListEntry(1, "a.example")])
+
+    def test_head_returns_prefix(self):
+        top = generate_top_list(50)
+        head = top.head(10)
+        assert len(head) == 10
+        assert head.domains == top.domains[:10]
+        with pytest.raises(ValueError):
+            top.head(0)
+
+    def test_rank_lookup_and_membership(self):
+        top = generate_top_list(10)
+        assert "site-000003.example" in top
+        assert top.rank_of("site-000003.example") == 3
+
+    def test_rejects_empty_or_invalid(self):
+        with pytest.raises(ConfigurationError):
+            generate_top_list(0)
+        with pytest.raises(ConfigurationError):
+            TopListEntry(0, "x.example")
+
+
+class TestYearlyChurn:
+    def test_lists_exist_for_every_year(self):
+        lists = yearly_top_lists(200, range(2014, 2020), seed=1)
+        assert sorted(lists) == list(range(2014, 2020))
+        assert all(len(top) == 200 for top in lists.values())
+
+    def test_churn_reduces_overlap_over_time(self):
+        lists = yearly_top_lists(300, (2017, 2018, 2019), seed=2, churn_rate=0.2)
+        base = lists[2017]
+        one_year = overlap_fraction(base, lists[2018])
+        two_years = overlap_fraction(base, lists[2019])
+        assert two_years < one_year < 1.0
+
+    def test_overlap_matches_paper_ballpark(self):
+        # The paper's 2017 list overlaps 55-79% with the 2017-2019 lists.
+        lists = yearly_top_lists(500, (2017, 2018, 2019), seed=3, churn_rate=0.12)
+        overlap_2019 = overlap_fraction(lists[2017], lists[2019])
+        assert 0.5 < overlap_2019 < 0.95
+
+    def test_same_seed_reproduces_lists(self):
+        a = yearly_top_lists(100, (2018, 2019), seed=9)
+        b = yearly_top_lists(100, (2018, 2019), seed=9)
+        assert a[2019].domains == b[2019].domains
+
+    def test_validates_inputs(self):
+        with pytest.raises(ConfigurationError):
+            yearly_top_lists(100, (), seed=1)
+        with pytest.raises(ConfigurationError):
+            yearly_top_lists(100, (2019,), churn_rate=1.5)
+
+    def test_overlap_of_identical_lists_is_one(self):
+        top = generate_top_list(50)
+        assert overlap_fraction(top, top) == 1.0

@@ -1,0 +1,87 @@
+"""Unit tests for the structural pricing model."""
+
+import pytest
+
+from repro.ecosystem.bidding import (
+    FACET_PRICE_MULTIPLIERS,
+    PricingModel,
+    SIZE_PRICE_MULTIPLIERS,
+    facet_price_multiplier,
+    popularity_price_multiplier,
+    size_price_multiplier,
+)
+from repro.models import AdSlotSize, HBFacet
+
+
+class TestSizeMultipliers:
+    def test_reference_size_is_one(self):
+        assert SIZE_PRICE_MULTIPLIERS["300x250"] == pytest.approx(1.0)
+
+    def test_skyscraper_is_most_expensive_calibrated_size(self):
+        assert SIZE_PRICE_MULTIPLIERS["120x600"] == max(SIZE_PRICE_MULTIPLIERS.values())
+
+    def test_small_mobile_banner_is_cheapest(self):
+        assert SIZE_PRICE_MULTIPLIERS["300x50"] == min(SIZE_PRICE_MULTIPLIERS.values())
+
+    def test_unknown_size_falls_back_to_area_scaling(self):
+        tiny = size_price_multiplier(AdSlotSize(88, 31))
+        huge = size_price_multiplier(AdSlotSize(1000, 1000))
+        assert 0.02 <= tiny < 1.0
+        assert 1.0 < huge <= 4.0
+
+    def test_known_size_uses_calibrated_value(self):
+        assert size_price_multiplier(AdSlotSize(728, 90)) == SIZE_PRICE_MULTIPLIERS["728x90"]
+
+
+class TestFacetMultipliers:
+    def test_client_side_draws_highest_prices(self):
+        assert FACET_PRICE_MULTIPLIERS[HBFacet.CLIENT_SIDE] > FACET_PRICE_MULTIPLIERS[HBFacet.HYBRID]
+        assert FACET_PRICE_MULTIPLIERS[HBFacet.HYBRID] > FACET_PRICE_MULTIPLIERS[HBFacet.SERVER_SIDE]
+
+    def test_lookup_helper_matches_table(self):
+        for facet in HBFacet:
+            assert facet_price_multiplier(facet) == FACET_PRICE_MULTIPLIERS[facet]
+
+
+class TestPopularityMultiplier:
+    def test_most_popular_partner_bids_lower(self):
+        top = popularity_price_multiplier(1, 84)
+        bottom = popularity_price_multiplier(84, 84)
+        assert top < 1.0 < bottom
+
+    def test_is_monotonic_in_rank(self):
+        values = [popularity_price_multiplier(rank, 84) for rank in range(1, 85)]
+        assert values == sorted(values)
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            popularity_price_multiplier(0, 84)
+        with pytest.raises(ValueError):
+            popularity_price_multiplier(1, 0)
+
+
+class TestPricingModel:
+    def test_combined_multiplier_composes_all_factors(self):
+        model = PricingModel()
+        combined = model.combined_multiplier(
+            AdSlotSize(300, 250), HBFacet.CLIENT_SIDE, popularity_rank=1, total_partners=84,
+            vanilla_profile=False,
+        )
+        expected = (
+            model.size_multiplier(AdSlotSize(300, 250))
+            * model.facet_multiplier(HBFacet.CLIENT_SIDE)
+            * popularity_price_multiplier(1, 84)
+        )
+        assert combined == pytest.approx(expected)
+
+    def test_vanilla_profile_attenuates_prices(self):
+        model = PricingModel()
+        with_profile = model.combined_multiplier(AdSlotSize(300, 250), HBFacet.HYBRID,
+                                                  vanilla_profile=False)
+        vanilla = model.combined_multiplier(AdSlotSize(300, 250), HBFacet.HYBRID,
+                                            vanilla_profile=True)
+        assert vanilla == pytest.approx(with_profile * model.vanilla_profile_multiplier)
+
+    def test_unknown_facet_multiplier_defaults_to_one(self):
+        model = PricingModel(facet_multipliers={})
+        assert model.facet_multiplier(HBFacet.HYBRID) == 1.0

@@ -1,0 +1,134 @@
+"""Unit and calibration tests for publisher population generation."""
+
+import collections
+
+import pytest
+
+from repro.ecosystem.publishers import PopulationConfig, Publisher, generate_population
+from repro.errors import ConfigurationError
+from repro.models import AdSlot, AdSlotSize, HBFacet, WrapperKind
+
+
+class TestPopulationConfig:
+    def test_default_matches_paper_scale(self):
+        config = PopulationConfig()
+        assert config.total_sites == 35_000
+        assert config.adoption_probability(1) == pytest.approx(0.215)
+        assert config.adoption_probability(10_000) == pytest.approx(0.145)
+        assert config.adoption_probability(30_000) == pytest.approx(0.115)
+
+    def test_scaled_preserves_tier_proportions(self):
+        config = PopulationConfig().scaled(3_500)
+        assert config.total_sites == 3_500
+        assert config.adoption_tiers[0][0] == 500
+        assert config.adoption_tiers[1][0] == 1_500
+
+    def test_facet_shares_sum_to_one(self):
+        config = PopulationConfig()
+        assert sum(share for _, share in config.facet_shares) == pytest.approx(1.0)
+
+    def test_rejects_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            PopulationConfig(total_sites=0)
+        with pytest.raises(ConfigurationError):
+            PopulationConfig(facet_shares=((HBFacet.CLIENT_SIDE, 0.5),))
+        with pytest.raises(ConfigurationError):
+            PopulationConfig(misconfigured_wrapper_rate=1.5)
+
+
+class TestPublisherValidation:
+    def test_non_hb_publisher_needs_no_hb_fields(self):
+        publisher = Publisher(domain="plain.example", rank=3, uses_hb=False)
+        assert publisher.n_partners == 0
+        assert publisher.url == "https://plain.example/"
+
+    def test_hb_publisher_requires_partners_and_slots(self, registry):
+        dfp = registry.get("DFP")
+        with pytest.raises(ConfigurationError):
+            Publisher(domain="x.example", rank=1, uses_hb=True, facet=HBFacet.HYBRID,
+                      wrapper=WrapperKind.PREBID, partners=(), slots=())
+
+    def test_server_side_publisher_must_expose_one_partner(self, registry):
+        dfp, criteo = registry.get("DFP"), registry.get("Criteo")
+        slot = AdSlot(code="s", primary_size=AdSlotSize(300, 250))
+        with pytest.raises(ConfigurationError):
+            Publisher(domain="x.example", rank=1, uses_hb=True, facet=HBFacet.SERVER_SIDE,
+                      wrapper=WrapperKind.GPT, partners=(dfp, criteo), slots=(slot,))
+
+    def test_auctioned_slots_default_to_display_slots(self, registry):
+        dfp = registry.get("DFP")
+        slot = AdSlot(code="s", primary_size=AdSlotSize(300, 250))
+        publisher = Publisher(domain="x.example", rank=1, uses_hb=True, facet=HBFacet.SERVER_SIDE,
+                              wrapper=WrapperKind.GPT, partners=(dfp,), ad_server=dfp, slots=(slot,))
+        assert publisher.auctioned_slots == publisher.slots
+
+    def test_rank_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            Publisher(domain="x.example", rank=0, uses_hb=False)
+
+
+class TestGeneratedPopulation:
+    def test_generation_is_deterministic(self, registry):
+        config = PopulationConfig(seed=3).scaled(200)
+        a = generate_population(config, registry)
+        b = generate_population(config, registry)
+        assert a.domains == b.domains
+        assert [p.uses_hb for p in a] == [p.uses_hb for p in b]
+
+    def test_population_size_and_lookup(self, small_population):
+        assert len(small_population) == 600
+        first = small_population[0]
+        assert small_population.by_domain(first.domain) is first
+        with pytest.raises(KeyError):
+            small_population.by_domain("missing.example")
+
+    def test_adoption_rate_is_paper_like(self, small_population):
+        assert 0.09 <= small_population.adoption_rate() <= 0.21
+
+    def test_facet_mix_is_paper_like(self, small_population):
+        counts = small_population.facet_counts()
+        total = sum(counts.values())
+        assert counts[HBFacet.SERVER_SIDE] / total > counts[HBFacet.HYBRID] / total
+        assert counts[HBFacet.HYBRID] / total > counts[HBFacet.CLIENT_SIDE] / total
+
+    def test_server_side_sites_expose_exactly_one_partner(self, small_population):
+        for publisher in small_population.hb_publishers():
+            if publisher.facet is HBFacet.SERVER_SIDE:
+                assert publisher.n_partners == 1
+                assert publisher.ad_server is publisher.partners[0]
+
+    def test_client_side_sites_have_no_known_ad_server(self, small_population):
+        for publisher in small_population.hb_publishers():
+            if publisher.facet is HBFacet.CLIENT_SIDE:
+                assert publisher.ad_server is None
+                assert publisher.own_ad_server_host.startswith("ads.")
+
+    def test_majority_of_hb_sites_use_one_partner(self, small_population):
+        counts = collections.Counter(p.n_partners for p in small_population.hb_publishers())
+        total = sum(counts.values())
+        assert counts[1] / total > 0.40
+
+    def test_dfp_present_on_most_hb_sites(self, small_population):
+        hb = small_population.hb_publishers()
+        share = sum(1 for p in hb if "DFP" in p.partner_names) / len(hb)
+        assert share > 0.65
+
+    def test_every_hb_site_has_slots_and_timeout(self, small_population):
+        for publisher in small_population.hb_publishers():
+            assert publisher.n_display_slots >= 1
+            assert publisher.n_auctioned_slots >= publisher.n_display_slots
+            assert publisher.timeout_ms > 0
+
+    def test_top_ranked_sites_get_lower_latency_scale(self, small_population):
+        config = small_population.config
+        top = [p for p in small_population if p.rank <= config.top_rank_threshold]
+        rest = [p for p in small_population if p.rank > config.head_rank_threshold]
+        assert all(p.latency_scale < 1.0 for p in top)
+        assert all(p.latency_scale == 1.0 for p in rest)
+
+    def test_some_sites_auction_device_duplicates(self, registry):
+        config = PopulationConfig(seed=99, multi_device_duplicate_rate=0.5).scaled(300)
+        population = generate_population(config, registry)
+        inflated = [p for p in population.hb_publishers()
+                    if p.n_auctioned_slots > p.n_display_slots]
+        assert inflated, "expected at least one publisher auctioning device duplicates"

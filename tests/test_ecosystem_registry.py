@@ -1,0 +1,92 @@
+"""Unit tests for the demand-partner registry."""
+
+import pytest
+
+from repro.ecosystem.registry import NAMED_PARTNER_SPECS, PartnerRegistry, default_registry
+from repro.errors import ConfigurationError, UnknownPartnerError
+from repro.models import PartnerKind
+
+
+class TestDefaultRegistry:
+    def test_contains_84_partners_by_default(self, registry):
+        assert len(registry) == 84
+
+    def test_contains_the_paper_named_top_partners(self, registry):
+        for name in ("DFP", "AppNexus", "Rubicon", "Criteo", "Index", "Amazon",
+                     "OpenX", "Pubmatic", "AOL", "Sovrn", "Smart"):
+            assert name in registry
+
+    def test_dfp_is_an_ad_server(self, registry):
+        dfp = registry.get("DFP")
+        assert dfp.can_serve_ads
+        assert dfp.can_run_server_side
+        assert dfp.kind is PartnerKind.AD_SERVER
+
+    def test_lookup_by_bidder_code(self, registry):
+        assert registry.by_bidder_code("appnexus").name == "AppNexus"
+        assert registry.get("ix").name == "Index"
+
+    def test_unknown_partner_raises(self, registry):
+        with pytest.raises(UnknownPartnerError):
+            registry.get("NotARealPartner")
+
+    def test_domains_are_unique_and_cover_all_partners(self, registry):
+        domains = registry.domains
+        assert len(domains) == len(set(domains))
+        assert "doubleclick.net" in domains
+        assert "adnxs.com" in domains
+
+    def test_is_deterministic_for_a_seed(self):
+        a = default_registry(seed=5)
+        b = default_registry(seed=5)
+        assert [p.name for p in a] == [p.name for p in b]
+        assert [p.latency.median_ms for p in a] == [p.latency.median_ms for p in b]
+
+    def test_can_shrink_to_named_partners_only(self):
+        small = default_registry(total_partners=20)
+        assert len(small) == 20
+
+    def test_rejects_oversized_registry(self):
+        with pytest.raises(ConfigurationError):
+            default_registry(total_partners=500)
+
+    def test_fastest_named_partners_are_faster_than_slowest(self, registry):
+        fastest = registry.get("Piximedia").latency.median_ms
+        slowest = registry.get("Adgeneration").latency.median_ms
+        assert fastest < 250 < slowest
+
+    def test_popularity_weights_put_dfp_first(self, registry):
+        weights = {p.name: p.popularity_weight for p in registry}
+        assert weights["DFP"] == max(weights.values())
+
+
+class TestPartnerRegistryBehaviour:
+    def test_subset_preserves_partner_objects(self, registry):
+        subset = registry.subset(["DFP", "Criteo"])
+        assert len(subset) == 2
+        assert subset.get("criteo") is registry.get("Criteo")
+
+    def test_rejects_empty_registry(self):
+        with pytest.raises(ConfigurationError):
+            PartnerRegistry([])
+
+    def test_rejects_duplicate_names(self, registry):
+        dfp = registry.get("DFP")
+        with pytest.raises(ConfigurationError):
+            PartnerRegistry([dfp, dfp])
+
+    def test_ad_servers_and_server_side_capable_selections(self, registry):
+        ad_servers = registry.ad_servers()
+        assert any(p.name == "DFP" for p in ad_servers)
+        capable = registry.server_side_capable()
+        assert {p.name for p in ad_servers} <= {p.name for p in capable} | {p.name for p in ad_servers}
+        assert len(capable) >= 5
+
+    def test_describe_lists_every_partner(self, registry):
+        rows = registry.describe()
+        assert len(rows) == len(registry)
+        assert all("latency_median_ms" in row for row in rows)
+
+    def test_contains_accepts_bidder_codes(self, registry):
+        assert "appnexus" in registry
+        assert "definitely-not-real" not in registry

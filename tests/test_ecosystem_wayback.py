@@ -1,0 +1,70 @@
+"""Unit tests for the Wayback-style snapshot archive."""
+
+import pytest
+
+from repro.ecosystem.alexa import yearly_top_lists
+from repro.ecosystem.wayback import ADOPTION_CURVE, Snapshot, SnapshotArchive
+from repro.errors import ConfigurationError
+from repro.models import WrapperKind
+
+
+@pytest.fixture(scope="module")
+def archive():
+    lists = yearly_top_lists(200, (2014, 2016, 2019), seed=5)
+    return SnapshotArchive(lists, seed=5)
+
+
+class TestSnapshotArchive:
+    def test_years_are_sorted(self, archive):
+        assert archive.years == (2014, 2016, 2019)
+
+    def test_snapshot_is_cached_and_deterministic(self, archive):
+        domain = archive.domains_for(2019)[0]
+        first = archive.snapshot(domain, 2019)
+        second = archive.snapshot(domain, 2019)
+        assert first is second
+        assert first.html == second.html
+
+    def test_snapshots_for_year_cover_the_top_list(self, archive):
+        snapshots = archive.snapshots_for(2016)
+        assert len(snapshots) == 200
+        assert {snapshot.year for snapshot in snapshots} == {2016}
+
+    def test_adoption_grows_over_the_years(self, archive):
+        def rate(year):
+            snapshots = archive.snapshots_for(year)
+            return sum(1 for s in snapshots if s.uses_hb) / len(snapshots)
+
+        assert rate(2014) < rate(2019)
+        assert rate(2019) > 0.1
+
+    def test_adoption_probability_follows_curve(self, archive):
+        assert archive.adoption_probability(2016) == ADOPTION_CURVE[2016]
+        # Years before the curve get a reduced early-adopter rate.
+        assert archive.adoption_probability(2010) < ADOPTION_CURVE[2014]
+        # Years after the curve inherit the latest value.
+        assert archive.adoption_probability(2025) == ADOPTION_CURVE[2019]
+
+    def test_hb_snapshots_reference_a_wrapper_script(self, archive):
+        hb_snapshots = [s for s in archive.snapshots_for(2019) if s.uses_hb]
+        assert hb_snapshots
+        named = [s for s in hb_snapshots if s.wrapper in (WrapperKind.PREBID, WrapperKind.GPT)]
+        assert named, "expected some snapshots with well-known wrappers"
+        assert any("prebid" in s.html for s in named if s.wrapper is WrapperKind.PREBID)
+
+    def test_unknown_year_raises(self, archive):
+        with pytest.raises(KeyError):
+            archive.domains_for(1999)
+
+    def test_rejects_invalid_configuration(self):
+        lists = yearly_top_lists(50, (2019,), seed=1)
+        with pytest.raises(ConfigurationError):
+            SnapshotArchive({}, seed=1)
+        with pytest.raises(ConfigurationError):
+            SnapshotArchive(lists, renamed_wrapper_rate=1.5)
+
+    def test_snapshot_validation(self):
+        with pytest.raises(ConfigurationError):
+            Snapshot(domain="", year=2019, html="<html/>", uses_hb=False)
+        with pytest.raises(ConfigurationError):
+            Snapshot(domain="x.example", year=1200, html="<html/>", uses_hb=False)

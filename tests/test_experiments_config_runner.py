@@ -1,0 +1,83 @@
+"""Unit tests for experiment configuration and the end-to-end runner."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentRunner, clear_artifact_cache
+
+
+class TestExperimentConfig:
+    def test_paper_scale_matches_campaign(self):
+        config = ExperimentConfig.paper_scale()
+        assert config.total_sites == 35_000
+        assert config.recrawl_days == 34
+        assert config.historical_sites == 1_000
+
+    def test_presets_are_valid_and_ordered_by_size(self):
+        assert ExperimentConfig.test_scale().total_sites < ExperimentConfig.bench_scale().total_sites
+        assert ExperimentConfig.bench_scale().total_sites < ExperimentConfig.paper_scale().total_sites
+
+    def test_population_config_inherits_scaling(self):
+        config = ExperimentConfig(total_sites=3_500, seed=5)
+        population_config = config.population_config()
+        assert population_config.total_sites == 3_500
+        assert population_config.seed == 5
+
+    def test_with_helpers_return_new_configs(self):
+        config = ExperimentConfig()
+        assert config.with_sites(500).total_sites == 500
+        assert config.with_seed(9).seed == 9
+        assert config.total_sites != 500 or config.seed != 9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(total_sites=5)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(recrawl_days=-1)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(detector_coverage=0.0)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(historical_years=())
+
+
+class TestExperimentRunner:
+    def test_artifacts_are_complete(self, experiment_artifacts):
+        assert len(experiment_artifacts.population) == experiment_artifacts.config.total_sites
+        assert len(experiment_artifacts.dataset) == experiment_artifacts.longitudinal.pages_visited
+        summary = experiment_artifacts.summary
+        assert summary["websites_crawled"] == experiment_artifacts.config.total_sites
+        assert summary["websites_with_hb"] > 0
+        assert summary["bids_detected"] > 0
+
+    def test_cache_returns_same_artifacts(self):
+        config = ExperimentConfig.test_scale()
+        first = ExperimentRunner(config).run()
+        second = ExperimentRunner(config).run()
+        assert first is second
+
+    def test_cache_can_be_bypassed_and_cleared(self):
+        config = ExperimentConfig(total_sites=400, seed=123, recrawl_days=0, historical_sites=100)
+        first = ExperimentRunner(config).run()
+        uncached = ExperimentRunner(config).run(use_cache=False)
+        assert first is not uncached
+        assert first.summary == uncached.summary
+        clear_artifact_cache()
+        after_clear = ExperimentRunner(config).run()
+        assert after_clear is not first
+
+    def test_same_seed_reproduces_summary(self):
+        config = ExperimentConfig(total_sites=400, seed=55, recrawl_days=0, historical_sites=100)
+        a = ExperimentRunner(config).run(use_cache=False)
+        b = ExperimentRunner(config).run(use_cache=False)
+        assert a.summary == b.summary
+
+    def test_different_seeds_differ(self):
+        a = ExperimentRunner(ExperimentConfig(total_sites=400, seed=1, recrawl_days=0)).run(use_cache=False)
+        b = ExperimentRunner(ExperimentConfig(total_sites=400, seed=2, recrawl_days=0)).run(use_cache=False)
+        assert a.summary != b.summary
+
+    def test_historical_run_covers_configured_years(self):
+        config = ExperimentConfig.test_scale()
+        historical = ExperimentRunner(config).run_historical()
+        assert historical.years == tuple(sorted(config.historical_years))

@@ -1,0 +1,48 @@
+"""Unit tests for bidder adapters (request construction)."""
+
+from repro.hb.adapters import build_bid_request, build_notification_request
+from repro.models import AdSlot, AdSlotSize
+
+
+class TestBuildBidRequest:
+    def test_request_targets_partner_endpoint(self, registry):
+        appnexus = registry.get("AppNexus")
+        slots = [AdSlot(code="slot-1", primary_size=AdSlotSize(300, 250))]
+        spec = build_bid_request(appnexus, slots, page_url="https://pub.example/",
+                                 auction_id="a-1", timeout_ms=3000)
+        assert spec.method == "POST"
+        assert "adnxs.com" in spec.url
+        assert spec.params["bidder"] == "appnexus"
+        assert spec.params["auction_id"] == "a-1"
+        assert spec.params["tmax"] == "3000"
+
+    def test_request_serialises_every_slot(self, registry):
+        criteo = registry.get("Criteo")
+        slots = [
+            AdSlot(code="slot-a", primary_size=AdSlotSize(300, 250)),
+            AdSlot(code="slot-b", primary_size=AdSlotSize(728, 90)),
+        ]
+        spec = build_bid_request(criteo, slots, page_url="https://pub.example/",
+                                 auction_id="a-2", timeout_ms=1000)
+        assert spec.params["slot_count"] == "2"
+        assert "slot-a" in spec.params["ad_units"]
+        assert "slot-b" in spec.params["ad_units"]
+        assert "728x90" in spec.params["sizes"]
+
+    def test_bid_request_carries_no_hb_targeting_keys(self, registry):
+        rubicon = registry.get("Rubicon")
+        slots = [AdSlot(code="slot-1", primary_size=AdSlotSize(300, 250))]
+        spec = build_bid_request(rubicon, slots, page_url="https://pub.example/",
+                                 auction_id="a-3", timeout_ms=500)
+        assert not any(key.startswith("hb_") for key in spec.params)
+
+
+class TestNotificationRequest:
+    def test_notification_names_winner_and_price(self, registry):
+        appnexus = registry.get("AppNexus")
+        spec = build_notification_request(appnexus, slot_code="slot-1", cpm=0.42, auction_id="a-9")
+        assert spec.method == "GET"
+        assert spec.url.endswith("/hb/win")
+        assert spec.params["hb_bidder"] == "appnexus"
+        assert spec.params["hb_cpm"] == "0.42000"
+        assert spec.params["event"] == "win"

@@ -1,0 +1,63 @@
+"""Unit tests for the auction environment."""
+
+import numpy as np
+import pytest
+
+from repro.ecosystem.registry import default_registry
+from repro.errors import ConfigurationError
+from repro.hb.environment import AuctionEnvironment
+from repro.models import AdSlot, AdSlotSize, HBFacet
+
+
+class TestAuctionEnvironment:
+    def test_popularity_rank_orders_by_weight(self, environment, registry):
+        dfp = registry.get("DFP")
+        sovrn = registry.get("Sovrn")
+        assert environment.popularity_rank(dfp) == 1
+        assert environment.popularity_rank(dfp) < environment.popularity_rank(sovrn)
+        assert environment.total_partners == len(registry)
+
+    def test_price_multiplier_prefers_client_side(self, environment, registry):
+        partner = registry.get("Criteo")
+        size = AdSlotSize(300, 250)
+        client = environment.price_multiplier(partner, size, HBFacet.CLIENT_SIDE)
+        server = environment.price_multiplier(partner, size, HBFacet.SERVER_SIDE)
+        assert client > server
+
+    def test_partner_response_uses_latency_scale(self, environment, registry):
+        partner = registry.get("Rubicon")
+        slot = AdSlot(code="s", primary_size=AdSlotSize(300, 250))
+        fast = [
+            environment.partner_response(np.random.default_rng(i), partner, slot,
+                                         HBFacet.CLIENT_SIDE, latency_scale=0.5).latency_ms
+            for i in range(200)
+        ]
+        slow = [
+            environment.partner_response(np.random.default_rng(i), partner, slot,
+                                         HBFacet.CLIENT_SIDE, latency_scale=1.0).latency_ms
+            for i in range(200)
+        ]
+        assert np.median(fast) < np.median(slow)
+
+    def test_internal_bidders_exclude_requested_partners(self, environment, registry, rng):
+        dfp = registry.get("DFP")
+        bidders = environment.sample_internal_bidders(rng, exclude=(dfp,))
+        assert dfp not in bidders
+        low, high = environment.internal_auction_pool
+        assert low <= len(bidders) <= high
+
+    def test_ad_server_latency_is_positive(self, environment, rng):
+        samples = [environment.ad_server_latency(rng) for _ in range(100)]
+        assert all(value >= 10.0 for value in samples)
+
+    def test_rejects_invalid_configuration(self, registry):
+        with pytest.raises(ConfigurationError):
+            AuctionEnvironment(registry=registry, ad_server_latency_median_ms=0)
+        with pytest.raises(ConfigurationError):
+            AuctionEnvironment(registry=registry, internal_auction_pool=(0, 3))
+        with pytest.raises(ConfigurationError):
+            AuctionEnvironment(registry=registry, internal_auction_pool=(5, 3))
+
+    def test_default_registry_is_built_when_omitted(self):
+        environment = AuctionEnvironment()
+        assert environment.total_partners == len(default_registry())

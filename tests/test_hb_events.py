@@ -1,0 +1,55 @@
+"""Unit tests for the HB event vocabulary and price bucketing."""
+
+import pytest
+
+from repro.hb.events import (
+    HB_EVENT_NAMES,
+    HB_PARAM_NAMES,
+    HBEventName,
+    HBParam,
+    RTB_NOTIFICATION_PARAMS,
+    price_bucket,
+)
+
+
+class TestVocabulary:
+    def test_paper_focus_events_are_present(self):
+        assert {"auctionEnd", "bidWon", "slotRenderEnded"} <= set(HB_EVENT_NAMES)
+
+    def test_full_prebid_lifecycle_is_modelled(self):
+        for name in ("auctionInit", "requestBids", "bidRequested", "bidResponse",
+                     "auctionEnd", "bidWon", "slotRenderEnded", "adRenderFailed"):
+            assert name in HB_EVENT_NAMES
+
+    def test_hb_params_include_the_paper_examples(self):
+        assert "hb_bidder" in HB_PARAM_NAMES
+        assert "hb_pb" in HB_PARAM_NAMES
+        assert "hb_size" in HB_PARAM_NAMES
+
+    def test_hb_params_and_rtb_params_are_disjoint(self):
+        assert not set(HB_PARAM_NAMES) & set(RTB_NOTIFICATION_PARAMS)
+
+    def test_enum_string_values(self):
+        assert str(HBEventName.BID_WON) == "bidWon"
+        assert str(HBParam.PRICE_BUCKET) == "hb_pb"
+
+
+class TestPriceBucket:
+    def test_rounds_down_to_increment(self):
+        assert price_bucket(0.537) == "0.53"
+        assert price_bucket(0.5399999) == "0.53"
+
+    def test_caps_very_high_bids(self):
+        assert price_bucket(99.0, cap=20.0) == "20.00"
+
+    def test_zero_is_valid(self):
+        assert price_bucket(0.0) == "0.00"
+
+    def test_custom_increment(self):
+        assert price_bucket(1.37, increment=0.10) == "1.30"
+
+    def test_rejects_invalid_input(self):
+        with pytest.raises(ValueError):
+            price_bucket(-0.1)
+        with pytest.raises(ValueError):
+            price_bucket(1.0, increment=0.0)

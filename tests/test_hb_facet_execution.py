@@ -1,0 +1,133 @@
+"""Behavioural tests for the three facet executors (client / server / hybrid)."""
+
+import numpy as np
+import pytest
+
+from repro.browser.context import BrowserContext
+from repro.hb.events import HBEventName
+from repro.hb.wrappers import build_wrapper
+from repro.models import HBFacet, RequestDirection
+from repro.utils.rng import derive_rng
+
+
+def run_facet(publisher, environment, seed=21):
+    context = BrowserContext.clean_slate(derive_rng(seed, "facet-test", publisher.domain))
+    wrapper = build_wrapper(publisher, context, environment)
+    outcome = wrapper.run()
+    return context, outcome
+
+
+class TestClientSide:
+    def test_outcome_covers_every_auctioned_slot(self, client_side_publisher, environment):
+        _, outcome = run_facet(client_side_publisher, environment)
+        assert outcome.facet is HBFacet.CLIENT_SIDE
+        assert {o.slot.code for o in outcome.slot_outcomes} == {
+            slot.code for slot in client_side_publisher.auctioned_slots
+        }
+
+    def test_every_partner_is_asked_for_every_slot(self, client_side_publisher, environment):
+        _, outcome = run_facet(client_side_publisher, environment)
+        for slot_outcome in outcome.slot_outcomes:
+            bidders = {bid.partner_name for bid in slot_outcome.bids}
+            assert bidders == set(client_side_publisher.partner_names)
+
+    def test_bid_requests_go_to_partner_domains(self, client_side_publisher, environment):
+        context, _ = run_facet(client_side_publisher, environment)
+        outgoing_hosts = {r.host for r in context.requests.outgoing()}
+        for partner in client_side_publisher.partners:
+            assert any(host.endswith(partner.primary_domain) for host in outgoing_hosts)
+
+    def test_ad_server_push_targets_publishers_own_host(self, client_side_publisher, environment):
+        context, _ = run_facet(client_side_publisher, environment)
+        own_host = client_side_publisher.own_ad_server_host
+        pushes = [r for r in context.requests.outgoing() if r.host == own_host]
+        assert pushes, "client-side HB must push key-values to the publisher's own ad server"
+
+    def test_ad_server_response_defines_total_latency(self, client_side_publisher, environment):
+        _, outcome = run_facet(client_side_publisher, environment)
+        for slot_outcome in outcome.slot_outcomes:
+            assert slot_outcome.ad_server_responded_at_ms >= slot_outcome.ad_server_called_at_ms
+            assert slot_outcome.total_latency_ms > 0
+
+    def test_late_flag_matches_ad_server_call_time(self, client_side_publisher, environment):
+        _, outcome = run_facet(client_side_publisher, environment)
+        for slot_outcome in outcome.slot_outcomes:
+            for bid in slot_outcome.bids:
+                expected_late = bid.responded_at_ms > slot_outcome.ad_server_called_at_ms
+                assert bid.late == expected_late
+
+    def test_winning_bid_is_the_highest_on_time_bid(self, client_side_publisher, environment):
+        _, outcome = run_facet(client_side_publisher, environment)
+        for slot_outcome in outcome.slot_outcomes:
+            priced_on_time = [b for b in slot_outcome.on_time_bids]
+            winners = [b for b in slot_outcome.bids if b.won]
+            if not priced_on_time:
+                assert not winners
+                continue
+            best = max(priced_on_time, key=lambda b: b.cpm)
+            if winners:
+                assert winners[0].cpm == pytest.approx(best.cpm)
+
+
+class TestServerSide:
+    def test_single_outgoing_auction_request(self, server_side_publisher, environment):
+        context, _ = run_facet(server_side_publisher, environment)
+        aggregator = server_side_publisher.partners[0]
+        auction_requests = [
+            r for r in context.requests.outgoing()
+            if r.matches_host(aggregator.domains) and "gampad" in r.url
+        ]
+        assert len(auction_requests) == 1
+
+    def test_responses_carry_hb_parameters_when_filled(self, server_side_publisher, environment):
+        context, outcome = run_facet(server_side_publisher, environment)
+        filled_slots = [o for o in outcome.slot_outcomes if o.winner is not None]
+        responses_with_hb = [
+            r for r in context.requests.incoming() if "hb_bidder" in r.params
+        ]
+        assert len(responses_with_hb) == len(filled_slots)
+
+    def test_no_auction_lifecycle_events_are_emitted(self, server_side_publisher, environment):
+        context, _ = run_facet(server_side_publisher, environment)
+        names = {event.name for event in context.dom.events}
+        assert HBEventName.BID_RESPONSE.value not in names
+        assert HBEventName.AUCTION_INIT.value not in names
+
+    def test_ground_truth_bids_are_never_late(self, server_side_publisher, environment):
+        _, outcome = run_facet(server_side_publisher, environment)
+        assert all(not bid.late for bid in outcome.all_bids)
+
+    def test_misconfiguration_flag_is_never_set(self, server_side_publisher, environment):
+        _, outcome = run_facet(server_side_publisher, environment)
+        assert outcome.misconfigured_wrapper is False
+
+
+class TestHybrid:
+    def test_client_bids_and_ad_server_winners_both_present(self, hybrid_publisher, environment):
+        context, outcome = run_facet(hybrid_publisher, environment)
+        assert outcome.facet is HBFacet.HYBRID
+        ad_server = hybrid_publisher.ad_server
+        pushes = [
+            r for r in context.requests.outgoing()
+            if r.matches_host(ad_server.domains) and any(k.startswith("hb_") for k in r.params)
+        ]
+        assert pushes, "hybrid HB pushes client-side key-values to the partner ad server"
+
+    def test_ad_server_response_arrives_after_push(self, hybrid_publisher, environment):
+        _, outcome = run_facet(hybrid_publisher, environment)
+        for slot_outcome in outcome.slot_outcomes:
+            assert slot_outcome.ad_server_responded_at_ms > slot_outcome.ad_server_called_at_ms
+
+    def test_winner_has_the_highest_considered_cpm(self, hybrid_publisher, environment):
+        _, outcome = run_facet(hybrid_publisher, environment)
+        for slot_outcome in outcome.slot_outcomes:
+            if slot_outcome.winner is None:
+                continue
+            considered = [b.cpm for b in slot_outcome.bids if b.is_bid and not b.late]
+            assert slot_outcome.clearing_cpm == pytest.approx(max(considered))
+
+    def test_total_latency_exceeds_pure_client_phase(self, hybrid_publisher, environment):
+        _, outcome = run_facet(hybrid_publisher, environment)
+        for slot_outcome in outcome.slot_outcomes:
+            assert slot_outcome.total_latency_ms > 0
+            assert slot_outcome.ad_server_responded_at_ms > slot_outcome.auction_start_ms

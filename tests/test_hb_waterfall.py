@@ -1,0 +1,106 @@
+"""Unit and behavioural tests for the waterfall / RTB baseline."""
+
+import numpy as np
+import pytest
+
+from repro.browser.context import BrowserContext
+from repro.errors import AuctionError
+from repro.hb.environment import AuctionEnvironment
+from repro.hb.waterfall import (
+    WaterfallAdNetwork,
+    build_waterfall_chain,
+    default_waterfall_slot,
+    run_waterfall,
+)
+from repro.models import AdSlot, AdSlotSize, SaleChannel
+
+
+@pytest.fixture()
+def slot():
+    return AdSlot(code="wf-slot", primary_size=AdSlotSize(300, 250))
+
+
+class TestChainConstruction:
+    def test_chain_priorities_are_sequential(self, registry, rng):
+        chain = build_waterfall_chain(registry, rng, max_levels=4)
+        assert [n.priority for n in chain] == list(range(1, len(chain) + 1))
+
+    def test_chain_prefers_popular_networks(self, registry, rng):
+        chains = [build_waterfall_chain(registry, np.random.default_rng(i)) for i in range(30)]
+        names = {network.partner.name for chain in chains for network in chain}
+        assert "DFP" in names or "AppNexus" in names
+
+    def test_rejects_zero_levels(self, registry, rng):
+        with pytest.raises(AuctionError):
+            build_waterfall_chain(registry, rng, max_levels=0)
+
+    def test_network_validation(self, registry):
+        partner = registry.get("Criteo")
+        with pytest.raises(AuctionError):
+            WaterfallAdNetwork(partner=partner, priority=0)
+        with pytest.raises(AuctionError):
+            WaterfallAdNetwork(partner=partner, priority=1, floor_cpm=-1.0)
+
+
+class TestRunWaterfall:
+    def test_outcome_has_positive_latency_and_a_winner(self, registry, environment, slot, rng):
+        chain = build_waterfall_chain(registry, rng, max_levels=3)
+        outcome = run_waterfall(slot, chain, environment, rng)
+        assert outcome.total_latency_ms > 0
+        assert outcome.winner is not None
+        assert outcome.channel in (SaleChannel.RTB_WATERFALL, SaleChannel.FALLBACK)
+
+    def test_stops_at_first_accepted_level(self, registry, environment, slot):
+        rng = np.random.default_rng(3)
+        chain = build_waterfall_chain(registry, rng, max_levels=4)
+        outcome = run_waterfall(slot, chain, environment, rng)
+        accepted = [index for index, p in enumerate(outcome.passes) if p.accepted]
+        if accepted:
+            assert accepted == [len(outcome.passes) - 1]
+            assert outcome.channel is SaleChannel.RTB_WATERFALL
+
+    def test_sequential_latency_accumulates_over_passes(self, registry, environment, slot):
+        rng = np.random.default_rng(5)
+        chain = build_waterfall_chain(registry, rng, max_levels=4)
+        outcome = run_waterfall(slot, chain, environment, rng)
+        assert outcome.total_latency_ms >= sum(p.latency_ms for p in outcome.passes) - 1e-6
+
+    def test_real_user_prices_exceed_vanilla_prices(self, registry, environment, slot):
+        vanilla, real = [], []
+        for index in range(150):
+            rng = np.random.default_rng(1000 + index)
+            chain = build_waterfall_chain(registry, rng, max_levels=3)
+            vanilla_outcome = run_waterfall(slot, chain, environment, np.random.default_rng(index),
+                                            real_user=False)
+            real_outcome = run_waterfall(slot, chain, environment, np.random.default_rng(index),
+                                         real_user=True)
+            if vanilla_outcome.channel is SaleChannel.RTB_WATERFALL:
+                vanilla.append(vanilla_outcome.clearing_cpm)
+            if real_outcome.channel is SaleChannel.RTB_WATERFALL:
+                real.append(real_outcome.clearing_cpm)
+        assert np.median(real) > np.median(vanilla)
+
+    def test_win_notification_recorded_without_hb_params(self, registry, environment, slot, rng):
+        context = BrowserContext.clean_slate(rng)
+        # Use several attempts to make sure at least one waterfall sale happens.
+        sold = False
+        for index in range(20):
+            chain = build_waterfall_chain(registry, np.random.default_rng(index), max_levels=3)
+            outcome = run_waterfall(slot, chain, environment, context.rng, context=context,
+                                    page_url="https://pub.example/")
+            if outcome.channel is SaleChannel.RTB_WATERFALL:
+                sold = True
+        assert sold
+        notifications = [r for r in context.requests.outgoing() if "/rtb/win" in r.url]
+        assert notifications
+        for request in notifications:
+            assert not any(key.startswith("hb_") for key in request.params)
+            assert "price" in request.params
+
+    def test_empty_chain_is_rejected(self, environment, slot, rng):
+        with pytest.raises(AuctionError):
+            run_waterfall(slot, [], environment, rng)
+
+    def test_default_waterfall_slot_uses_common_sizes(self, rng):
+        slot = default_waterfall_slot(rng)
+        assert slot.primary_size.label in {"300x250", "728x90", "160x600"}

@@ -1,0 +1,81 @@
+"""Unit tests for the wrapper base class and factory."""
+
+import pytest
+
+from repro.browser.context import BrowserContext
+from repro.errors import ConfigurationError
+from repro.hb.events import HBEventName
+from repro.hb.gpt import GptWrapper
+from repro.hb.prebid import PrebidWrapper
+from repro.hb.pubfood import PubfoodWrapper
+from repro.hb.wrappers import HBWrapper, build_wrapper
+from repro.models import WrapperKind
+
+
+class TestBuildWrapper:
+    def test_factory_picks_class_by_wrapper_kind(self, small_population, environment, rng):
+        classes = {
+            WrapperKind.PREBID: PrebidWrapper,
+            WrapperKind.GPT: GptWrapper,
+            WrapperKind.PUBFOOD: PubfoodWrapper,
+            WrapperKind.CUSTOM: HBWrapper,
+        }
+        seen = set()
+        for publisher in small_population.hb_publishers():
+            context = BrowserContext.clean_slate(rng)
+            wrapper = build_wrapper(publisher, context, environment)
+            assert isinstance(wrapper, classes[publisher.wrapper])
+            seen.add(publisher.wrapper)
+        assert WrapperKind.PREBID in seen
+        assert WrapperKind.GPT in seen
+
+    def test_wrapper_rejects_non_hb_publisher(self, non_hb_publisher, environment, context):
+        with pytest.raises(ConfigurationError):
+            HBWrapper(non_hb_publisher, context, environment)
+
+
+class TestEventEmission:
+    @pytest.fixture()
+    def prebid(self, client_side_publisher, environment, context):
+        return PrebidWrapper(client_side_publisher, context, environment)
+
+    def test_lifecycle_events_carry_library_name(self, prebid, context):
+        prebid.emit_auction_init("a-1")
+        events = context.dom.events
+        assert events[0].name == HBEventName.AUCTION_INIT.value
+        assert events[0].payload["library"] == "prebid.js"
+        assert events[1].name == HBEventName.REQUEST_BIDS.value
+
+    def test_bid_response_payload_has_price_bucket(self, prebid, context):
+        prebid.emit_bid_response("a-1", bidder_code="appnexus", slot_code="slot-1",
+                                 cpm=0.537, size_label="300x250", latency_ms=123.4)
+        event = context.dom.events[-1]
+        assert event.payload["hb_pb"] == "0.53"
+        assert event.payload["cpm"] == pytest.approx(0.537)
+        assert event.payload["timeToRespond"] == pytest.approx(123.4)
+
+    def test_gpt_wrapper_suppresses_lifecycle_but_keeps_render_events(
+        self, hybrid_publisher, environment, context
+    ):
+        wrapper = GptWrapper(hybrid_publisher, context, environment)
+        wrapper.emit_auction_init("a-1")
+        wrapper.emit_bid_response("a-1", bidder_code="appnexus", slot_code="s",
+                                  cpm=0.2, size_label="300x250", latency_ms=10)
+        assert len(context.dom.events) == 0
+        wrapper.emit_slot_render_ended(slot_code="s", size_label="300x250", is_empty=False)
+        wrapper.emit_auction_end("a-1", n_bids=0, latency_ms=10.0)
+        names = [event.name for event in context.dom.events]
+        assert HBEventName.SLOT_RENDER_ENDED.value in names
+        assert HBEventName.AUCTION_END.value in names
+
+    def test_bid_timeout_only_emitted_with_bidders(self, prebid, context):
+        prebid.emit_bid_timeout("a-1", [])
+        assert len(context.dom.events) == 0
+        prebid.emit_bid_timeout("a-1", ["sovrn"])
+        assert context.dom.events[-1].payload["bidders"] == ["sovrn"]
+
+    def test_run_dispatches_to_facet_executor(self, client_side_publisher, environment, context):
+        wrapper = PrebidWrapper(client_side_publisher, context, environment)
+        outcome = wrapper.run()
+        assert outcome.facet is client_side_publisher.facet
+        assert outcome.domain == client_side_publisher.domain

@@ -1,0 +1,129 @@
+"""Unit tests for the shared primitive types in repro.models."""
+
+import pytest
+
+from repro.models import (
+    AdSlot,
+    AdSlotSize,
+    DomEvent,
+    HBFacet,
+    PageTimings,
+    PartnerKind,
+    RequestDirection,
+    STANDARD_SIZES,
+    WebRequest,
+    WrapperKind,
+    parse_size,
+)
+
+
+class TestAdSlotSize:
+    def test_label_round_trips_through_parse(self):
+        size = AdSlotSize(300, 250)
+        assert parse_size(size.label) == size
+
+    def test_area_is_width_times_height(self):
+        assert AdSlotSize(728, 90).area == 728 * 90
+
+    def test_rejects_non_positive_dimensions(self):
+        with pytest.raises(ValueError):
+            AdSlotSize(0, 250)
+        with pytest.raises(ValueError):
+            AdSlotSize(300, -1)
+
+    def test_parse_accepts_upper_case_separator(self):
+        assert parse_size("300X600") == AdSlotSize(300, 600)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_size("banner")
+        with pytest.raises(ValueError):
+            parse_size("300x")
+
+    def test_standard_sizes_include_paper_top_sizes(self):
+        labels = {size.label for size in STANDARD_SIZES}
+        assert {"300x250", "728x90", "300x600"} <= labels
+
+    def test_ordering_is_deterministic(self):
+        assert sorted([AdSlotSize(728, 90), AdSlotSize(300, 250)])[0] == AdSlotSize(300, 250)
+
+
+class TestAdSlot:
+    def test_primary_size_always_in_sizes(self):
+        slot = AdSlot(code="slot-1", primary_size=AdSlotSize(300, 250), sizes=(AdSlotSize(728, 90),))
+        assert AdSlotSize(300, 250) in slot.sizes
+        assert "300x250" in slot.accepted_labels
+
+    def test_defaults_sizes_to_primary(self):
+        slot = AdSlot(code="slot-1", primary_size=AdSlotSize(300, 250))
+        assert slot.sizes == (AdSlotSize(300, 250),)
+
+    def test_rejects_empty_code(self):
+        with pytest.raises(ValueError):
+            AdSlot(code="", primary_size=AdSlotSize(300, 250))
+
+    def test_rejects_negative_floor(self):
+        with pytest.raises(ValueError):
+            AdSlot(code="slot", primary_size=AdSlotSize(300, 250), floor_cpm=-0.1)
+
+
+class TestEnums:
+    def test_facet_values_match_paper_terms(self):
+        assert {facet.value for facet in HBFacet} == {"client-side", "server-side", "hybrid"}
+
+    def test_wrapper_kinds_include_prebid(self):
+        assert WrapperKind.PREBID.value == "prebid.js"
+
+    def test_partner_kind_str(self):
+        assert str(PartnerKind.DSP) == "dsp"
+
+
+class TestDomEvent:
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            DomEvent(name="", timestamp_ms=1.0)
+
+    def test_rejects_negative_timestamp(self):
+        with pytest.raises(ValueError):
+            DomEvent(name="auctionEnd", timestamp_ms=-1.0)
+
+    def test_get_reads_payload_with_default(self):
+        event = DomEvent(name="bidWon", timestamp_ms=0.0, payload={"cpm": 1.5})
+        assert event.get("cpm") == 1.5
+        assert event.get("missing", "x") == "x"
+
+
+class TestWebRequest:
+    def _request(self, url, direction=RequestDirection.OUTGOING):
+        return WebRequest(url=url, method="GET", direction=direction, timestamp_ms=1.0)
+
+    def test_host_strips_scheme_port_and_path(self):
+        request = self._request("https://ib.adnxs.com:443/ut/v3?x=1")
+        assert request.host == "ib.adnxs.com"
+
+    def test_matches_host_accepts_subdomains(self):
+        request = self._request("https://ib.adnxs.com/ut")
+        assert request.matches_host(["adnxs.com"])
+        assert not request.matches_host(["rubiconproject.com"])
+
+    def test_matches_host_requires_domain_boundary(self):
+        request = self._request("https://notadnxs.com/x")
+        assert not request.matches_host(["adnxs.com"])
+
+    def test_rejects_empty_url(self):
+        with pytest.raises(ValueError):
+            self._request("")
+
+
+class TestPageTimings:
+    def test_page_load_is_difference(self):
+        timings = PageTimings(0.0, 100.0, 500.0, 1200.0)
+        assert timings.page_load_ms == pytest.approx(1200.0)
+
+    def test_rejects_unordered_timings(self):
+        with pytest.raises(ValueError):
+            PageTimings(0.0, 500.0, 100.0, 1200.0)
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError):
+            PageTimings(-1.0, 0.0, 0.0, 0.0)

@@ -1,0 +1,132 @@
+"""Property-based tests on core invariants, using hypothesis.
+
+These complement the unit tests by exploring the input space of the core data
+structures and protocol components: price bucketing, parameter extraction,
+detector records, storage round-trips and the ad-server decision rule.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crawler.storage import detection_from_dict, detection_to_dict
+from repro.detector.parameters import extract_hb_parameters
+from repro.detector.records import ObservedAuction, ObservedBid, SiteDetection
+from repro.ecosystem.adserver import AdServer
+from repro.ecosystem.partners import BidBehavior, LatencyModel
+from repro.ecosystem.registry import default_registry
+from repro.hb.events import price_bucket
+from repro.models import AdSlot, AdSlotSize, HBFacet, SaleChannel
+from repro.utils.ids import slugify
+from repro.utils.rng import derive_rng
+
+_REGISTRY = default_registry()
+
+slot_codes = st.text(alphabet="abcdefghij-0123456789", min_size=1, max_size=20).map(
+    lambda s: f"slot-{s}"
+)
+cpms = st.floats(min_value=0.0001, max_value=50.0, allow_nan=False)
+
+
+class TestPriceBucketProperties:
+    @given(cpms)
+    @settings(max_examples=100, deadline=None)
+    def test_bucket_never_exceeds_cpm(self, cpm):
+        bucket = float(price_bucket(cpm))
+        assert bucket <= min(cpm, 20.0) + 1e-9
+
+    @given(cpms)
+    @settings(max_examples=100, deadline=None)
+    def test_bucket_is_within_one_increment(self, cpm):
+        bucket = float(price_bucket(cpm))
+        assert min(cpm, 20.0) - bucket < 0.01 + 1e-9
+
+
+class TestParameterExtractionProperties:
+    @given(
+        st.dictionaries(
+            st.sampled_from(["hb_bidder", "hb_pb", "hb_size", "hb_cpm"]),
+            st.text(min_size=1, max_size=8),
+            min_size=1,
+            max_size=4,
+        ),
+        slot_codes,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_suffixed_keys_always_recovered(self, hb_values, slot_code):
+        params = {f"{key}_{slot_code}": value for key, value in hb_values.items()}
+        extracted = extract_hb_parameters(params)
+        assert extracted.slot_codes == (slot_code,)
+        assert dict(extracted.per_slot[slot_code]) == hb_values
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=12), st.text(max_size=8), max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_non_hb_keys_never_extracted(self, params):
+        cleaned = {key: value for key, value in params.items()
+                   if not any(key.startswith(prefix) for prefix in
+                              ("hb_bidder", "hb_pb", "hb_size", "hb_cpm", "hb_adid",
+                               "hb_currency", "hb_format", "hb_source"))}
+        assert extract_hb_parameters(cleaned).is_empty
+
+
+class TestLatencyModelProperties:
+    @given(st.floats(min_value=20.0, max_value=2_000.0), st.floats(min_value=0.1, max_value=1.0),
+           st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_samples_are_at_least_the_minimum(self, median, sigma, seed):
+        model = LatencyModel(median_ms=median, sigma=sigma, minimum_ms=15.0)
+        assert model.sample(np.random.default_rng(seed)) >= 15.0
+
+
+class TestBidBehaviorProperties:
+    @given(st.floats(min_value=0.001, max_value=1.0), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_cpm_positive_for_any_base(self, base_cpm, seed):
+        behavior = BidBehavior(bid_probability=1.0, base_cpm=base_cpm)
+        cpm = behavior.sample_cpm(np.random.default_rng(seed), AdSlotSize(300, 250))
+        assert cpm > 0
+
+
+class TestDetectionRoundTripProperties:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["AppNexus", "Criteo", "Rubicon"]), cpms, st.booleans()),
+            min_size=0,
+            max_size=5,
+        ),
+        st.integers(min_value=1, max_value=40_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_storage_round_trip_is_lossless(self, bid_specs, rank):
+        bids = tuple(
+            ObservedBid(partner=name, bidder_code=slugify(name), slot_code="s1",
+                        cpm=round(cpm, 5), size="300x250", latency_ms=100.0, late=late)
+            for name, cpm, late in bid_specs
+        )
+        auction = ObservedAuction(slot_code="s1", size="300x250", bids=bids,
+                                  start_ms=0.0, end_ms=500.0, facet=HBFacet.HYBRID)
+        detection = SiteDetection(domain="prop.example", rank=rank, hb_detected=True,
+                                  facet=HBFacet.HYBRID, partners=("DFP",), auctions=(auction,),
+                                  total_latency_ms=500.0)
+        assert detection_from_dict(detection_to_dict(detection)) == detection
+
+
+class TestAdServerProperties:
+    @given(
+        st.dictionaries(st.sampled_from(["appnexus", "criteo", "rubicon", "ix"]),
+                        cpms, min_size=1, max_size=4),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=0, max_value=1_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_header_winner_is_always_the_highest_bid_above_floor(self, bids, floor, seed):
+        slot = AdSlot(code="s", primary_size=AdSlotSize(300, 250), floor_cpm=floor)
+        server = AdServer(_REGISTRY.get("DFP"), fallback_fill_probability=1.0)
+        decision = server.decide(derive_rng(seed, "adserver-prop"), slot, bids)
+        best_bidder = max(bids, key=lambda code: bids[code])
+        if bids[best_bidder] >= floor:
+            assert decision.channel is SaleChannel.HEADER_BIDDING
+            assert decision.winner == best_bidder
+        else:
+            assert decision.channel is not SaleChannel.HEADER_BIDDING
