@@ -14,6 +14,8 @@ import argparse
 import sys
 from typing import Callable, Sequence
 
+from repro.crawler.engine import BACKEND_NAMES
+from repro.crawler.storage import CrawlStorage
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments import figures, tables
@@ -62,6 +64,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--days", type=int, default=1, help="number of daily re-crawls")
     run.add_argument("--seed", type=int, default=2019, help="random seed")
     run.add_argument(
+        "--workers", type=int, default=1,
+        help="parallel crawl workers (shards); results are identical for any count",
+    )
+    run.add_argument(
+        "--backend", choices=list(BACKEND_NAMES), default="serial",
+        help="crawl execution backend",
+    )
+    run.add_argument(
+        "--save", metavar="PATH", default=None,
+        help="stream detections to this JSON-Lines file as the crawl progresses",
+    )
+    run.add_argument(
         "--figures",
         nargs="+",
         default=["table1", "adoption", "facet", "fig12"],
@@ -97,8 +111,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(figures.figure04_adoption_history(historical)["text"])
         return 0
 
-    config = ExperimentConfig(total_sites=args.sites, recrawl_days=args.days, seed=args.seed)
-    artifacts = ExperimentRunner(config).run()
+    config = ExperimentConfig(
+        total_sites=args.sites,
+        recrawl_days=args.days,
+        seed=args.seed,
+        workers=args.workers,
+        crawl_backend=args.backend,
+    )
+    storage = CrawlStorage(args.save) if args.save else None
+    artifacts = ExperimentRunner(config).run(storage=storage)
+    if storage is not None:
+        print(f"Streamed {len(artifacts.longitudinal.all_detections)} detections "
+              f"to {storage.path}\n")
     for name in args.figures:
         result = registry[name](artifacts)
         print(result["text"])

@@ -6,22 +6,50 @@ five-second dwell after the load event, a one-shot crawl of the top-35k list
 followed by a 34-day daily re-crawl of the HB-enabled sites, and a separate
 static crawl of Wayback snapshots for the historical adoption figure.  This
 package reproduces that pipeline on top of the simulated Web.
+
+The crawl itself runs through :class:`CrawlEngine`: the site list is split
+into deterministic shards (:class:`CrawlPlan`) fanned out to an execution
+backend (:class:`SerialBackend`, :class:`ThreadPoolBackend` or
+:class:`ProcessPoolBackend`), and per-shard results are merged back in
+canonical site order — detections are byte-identical regardless of worker
+count.  :class:`Crawler` remains the backward-compatible facade.
 """
 
 from repro.crawler.session import CrawlSession
 from repro.crawler.crawler import Crawler, CrawlConfig, CrawlResult
+from repro.crawler.engine import (
+    BACKEND_NAMES,
+    CrawlEngine,
+    CrawlPlan,
+    CrawlShard,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    backend_from_name,
+)
 from repro.crawler.scheduler import LongitudinalScheduler, LongitudinalCrawl
 from repro.crawler.historical import HistoricalCrawler, HistoricalAdoption
-from repro.crawler.storage import CrawlStorage
+from repro.crawler.storage import CrawlStorage, DetectionSink
 
 __all__ = [
     "CrawlSession",
     "Crawler",
     "CrawlConfig",
     "CrawlResult",
+    "CrawlEngine",
+    "CrawlPlan",
+    "CrawlShard",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "backend_from_name",
+    "BACKEND_NAMES",
     "LongitudinalScheduler",
     "LongitudinalCrawl",
     "HistoricalCrawler",
     "HistoricalAdoption",
     "CrawlStorage",
+    "DetectionSink",
 ]

@@ -4,21 +4,34 @@ Given a publisher population (the simulated Web), the crawler visits each
 site with a clean-slate session, runs HBDetector on every page load, handles
 page-load timeouts by killing and restarting the session, and returns the
 per-site detections together with crawl bookkeeping.
+
+:class:`Crawler` is a thin facade over
+:class:`repro.crawler.engine.CrawlEngine`: the engine shards the site list,
+fans shards out to the configured execution backend (serial by default) and
+merges results in canonical order, so ``CrawlConfig(workers=8,
+backend="process")`` parallelises any existing caller without code changes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from functools import reduce
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
-from repro.crawler.session import CrawlSession
 from repro.detector.detector import HBDetector
 from repro.detector.records import SiteDetection
 from repro.ecosystem.publishers import Publisher, PublisherPopulation
 from repro.errors import ConfigurationError
 from repro.hb.environment import AuctionEnvironment
 
-__all__ = ["CrawlConfig", "CrawlResult", "Crawler"]
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
+    from repro.crawler.engine import CrawlEngine, DetectionSinkLike, ExecutionBackend
+
+__all__ = ["CrawlConfig", "CrawlResult", "Crawler", "BACKEND_NAMES"]
+
+#: Names accepted by :attr:`CrawlConfig.backend`; the backend implementations
+#: live in :mod:`repro.crawler.engine`, which re-exports this tuple.
+BACKEND_NAMES = ("serial", "thread", "process")
 
 
 @dataclass(frozen=True)
@@ -32,6 +45,15 @@ class CrawlConfig:
     #: timeout, bounding state accumulation (defensive; the paper restarts
     #: per page, which corresponds to ``1``).
     restart_every_pages: int = 1
+    #: Number of parallel crawl workers (shards). ``1`` reproduces the
+    #: paper's strictly sequential crawl; higher values shard the site list.
+    workers: int = 1
+    #: Execution backend: ``"serial"``, ``"thread"`` or ``"process"``.
+    #: Detections (plus ``pages_visited`` and ``timed_out_domains``) are
+    #: byte-identical across backends and worker counts; only
+    #: ``sessions_started`` may differ when ``restart_every_pages > 1``,
+    #: since sessions never span shard boundaries.
+    backend: str = "serial"
 
     def __post_init__(self) -> None:
         if self.page_load_timeout_ms <= 0:
@@ -40,6 +62,12 @@ class CrawlConfig:
             raise ConfigurationError("extra dwell cannot be negative")
         if self.restart_every_pages < 1:
             raise ConfigurationError("restart_every_pages must be >= 1")
+        if self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if self.backend not in BACKEND_NAMES:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; expected one of {', '.join(BACKEND_NAMES)}"
+            )
 
 
 @dataclass
@@ -65,29 +93,54 @@ class CrawlResult:
             return 0.0
         return len(self.hb_detections) / len(self.detections)
 
+    def merge(self, other: "CrawlResult") -> "CrawlResult":
+        """Combine two results, preserving ``self``-then-``other`` order.
+
+        Merging is associative and order-preserving, which is what lets the
+        engine reassemble per-shard results into the canonical sequence:
+        ``merged([a, b, c])`` equals ``a.merge(b).merge(c)``.  Neither input
+        is mutated.
+        """
+        return CrawlResult(
+            detections=self.detections + other.detections,
+            timed_out_domains=self.timed_out_domains + other.timed_out_domains,
+            pages_visited=self.pages_visited + other.pages_visited,
+            sessions_started=self.sessions_started + other.sessions_started,
+        )
+
+    @classmethod
+    def merged(cls, results: Iterable["CrawlResult"]) -> "CrawlResult":
+        """Merge many results left to right into a fresh :class:`CrawlResult`."""
+        return reduce(cls.merge, results, cls())
+
 
 ProgressCallback = Callable[[int, int, SiteDetection], None]
 
 
 class Crawler:
-    """Visits publishers with HBDetector loaded and collects detections."""
+    """Visits publishers with HBDetector loaded and collects detections.
+
+    A thin facade over :class:`repro.crawler.engine.CrawlEngine`; kept for
+    backward compatibility and as the one-object entry point.  The engine's
+    backend is taken from ``config.backend`` / ``config.workers`` (serial by
+    default, matching the paper's sequential crawl).
+    """
 
     def __init__(
         self,
         environment: AuctionEnvironment,
         detector: HBDetector,
         config: CrawlConfig | None = None,
+        *,
+        backend: "ExecutionBackend | None" = None,
     ) -> None:
+        from repro.crawler.engine import CrawlEngine
+
         self.environment = environment
         self.detector = detector
         self.config = config or CrawlConfig()
-
-    def _new_session(self) -> CrawlSession:
-        return CrawlSession(
-            environment=self.environment,
-            seed=self.config.seed,
-            page_load_timeout_ms=self.config.page_load_timeout_ms,
-            extra_dwell_ms=self.config.extra_dwell_ms,
+        self.engine: "CrawlEngine" = CrawlEngine(
+            environment, detector, self.config, backend=backend
         )
 
     def crawl(
@@ -96,33 +149,12 @@ class Crawler:
         *,
         crawl_day: int = 0,
         progress: ProgressCallback | None = None,
+        sink: "DetectionSinkLike | None" = None,
     ) -> CrawlResult:
         """Visit every publisher once and run detection on each page load."""
-        sites = list(publishers)
-        result = CrawlResult()
-        session = self._new_session()
-        result.sessions_started += 1
-
-        for index, publisher in enumerate(sites):
-            page = session.load(publisher, visit_index=crawl_day)
-            result.pages_visited += 1
-            if page.timed_out:
-                # The paper kills the instance after 60 s and moves on; the
-                # partially loaded page still yields whatever was observed.
-                result.timed_out_domains.append(publisher.domain)
-                session.kill()
-                session = self._new_session()
-                result.sessions_started += 1
-            detection = self.detector.inspect_page(page, crawl_day=crawl_day)
-            result.detections.append(detection)
-            if progress is not None:
-                progress(index + 1, len(sites), detection)
-            if not page.timed_out and session.pages_loaded >= self.config.restart_every_pages:
-                session.kill()
-                session = self._new_session()
-                result.sessions_started += 1
-        session.kill()
-        return result
+        return self.engine.crawl(
+            publishers, crawl_day=crawl_day, progress=progress, sink=sink
+        )
 
     def crawl_domains(
         self,
@@ -130,7 +162,10 @@ class Crawler:
         domains: Iterable[str],
         *,
         crawl_day: int = 0,
+        progress: ProgressCallback | None = None,
+        sink: "DetectionSinkLike | None" = None,
     ) -> CrawlResult:
         """Crawl a subset of a population selected by domain name."""
-        publishers = [population.by_domain(domain) for domain in domains]
-        return self.crawl(publishers, crawl_day=crawl_day)
+        return self.engine.crawl_domains(
+            population, domains, crawl_day=crawl_day, progress=progress, sink=sink
+        )

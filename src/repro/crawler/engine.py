@@ -1,0 +1,412 @@
+"""Parallel crawl engine with pluggable execution backends.
+
+The paper's workload is embarrassingly parallel across sites: one discovery
+pass over the 35k-site top list, then daily re-crawls of the ~5k HB-enabled
+sites.  This module splits a publisher list into deterministic shards
+(:class:`CrawlPlan`), fans the shards out to workers through an
+:class:`ExecutionBackend` (serial, thread pool, or process pool), and merges
+the per-shard :class:`~repro.crawler.crawler.CrawlResult` objects back in
+canonical site order.
+
+Determinism guarantee
+---------------------
+Every page load derives its RNG stream from ``(seed, domain, visit_index)``
+(see :meth:`repro.browser.engine.BrowserEngine.load`), never from crawl
+order or shared session state.  Shards are contiguous chunks of the input
+list and each shard additionally carries a seed derived from
+``(seed, "shard", index)`` for shard-local bookkeeping, so the plan itself is
+a pure function of ``(sites, workers, seed)``.  Merging shard results in
+shard-index order therefore reproduces the serial detection sequence exactly:
+a crawl with ``workers=1`` and ``workers=8`` produces byte-identical
+serialised detections.
+
+Streaming
+---------
+:meth:`CrawlEngine.crawl` accepts a ``sink`` (any object with a
+``write(detection)`` method, e.g. :class:`repro.crawler.storage.DetectionSink`).
+Detections are streamed to the sink in canonical order, instead of buffering
+the whole crawl before persisting anything: the serial backend streams after
+every page, pool backends stream each shard as soon as every earlier shard
+has completed.
+"""
+
+from __future__ import annotations
+
+import copy
+from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable, Iterable, Iterator, Protocol, Sequence
+
+from repro.crawler.crawler import BACKEND_NAMES, CrawlConfig, CrawlResult, ProgressCallback
+from repro.crawler.session import CrawlSession
+from repro.detector.detector import HBDetector
+from repro.detector.records import SiteDetection
+from repro.ecosystem.publishers import Publisher, PublisherPopulation
+from repro.errors import ConfigurationError
+from repro.hb.environment import AuctionEnvironment
+from repro.utils.rng import stable_hash
+
+__all__ = [
+    "CrawlShard",
+    "CrawlPlan",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "CrawlEngine",
+    "DetectionSinkLike",
+    "backend_from_name",
+    "BACKEND_NAMES",
+]
+
+
+# ---------------------------------------------------------------------------
+# Sharding
+
+
+@dataclass(frozen=True)
+class CrawlShard:
+    """One contiguous slice of the canonical site list, owned by one worker."""
+
+    index: int
+    #: Position of the shard's first site in the canonical (input) order.
+    start: int
+    publishers: tuple[Publisher, ...]
+    #: Seed derived from ``(plan seed, "shard", index)``; reserved for
+    #: shard-local decisions.  Page-level RNG is keyed by
+    #: ``(seed, domain, visit_index)`` and deliberately ignores this, which is
+    #: what keeps results independent of the worker count.
+    shard_seed: int
+
+    def __len__(self) -> int:
+        return len(self.publishers)
+
+
+@dataclass(frozen=True)
+class CrawlPlan:
+    """A deterministic partition of a publisher list into crawl shards."""
+
+    seed: int
+    n_sites: int
+    shards: tuple[CrawlShard, ...]
+
+    @classmethod
+    def build(
+        cls,
+        publishers: Sequence[Publisher] | PublisherPopulation,
+        *,
+        workers: int = 1,
+        seed: int = 2019,
+    ) -> "CrawlPlan":
+        """Split ``publishers`` into at most ``workers`` balanced shards.
+
+        The split is contiguous (shard *i* holds an unbroken run of the input
+        order) and a pure function of ``(publishers, workers, seed)``: the
+        first ``len(publishers) % n`` shards receive one extra site.
+        """
+        if workers < 1:
+            raise ConfigurationError("a crawl plan needs at least one worker")
+        sites = list(publishers)
+        n_shards = max(1, min(workers, len(sites)))
+        base, extra = divmod(len(sites), n_shards)
+        shards = []
+        start = 0
+        for index in range(n_shards):
+            size = base + (1 if index < extra else 0)
+            shards.append(
+                CrawlShard(
+                    index=index,
+                    start=start,
+                    publishers=tuple(sites[start : start + size]),
+                    shard_seed=stable_hash(seed, "shard", index),
+                )
+            )
+            start += size
+        return cls(seed=seed, n_sites=len(sites), shards=tuple(shards))
+
+    @property
+    def site_order(self) -> tuple[str, ...]:
+        """Domains in canonical order (concatenation of the shards)."""
+        return tuple(p.domain for shard in self.shards for p in shard.publishers)
+
+
+# ---------------------------------------------------------------------------
+# The per-shard worker
+
+ShardTask = Callable[[CrawlShard], CrawlResult]
+
+
+def _crawl_shard(
+    environment: AuctionEnvironment,
+    detector: HBDetector,
+    config: CrawlConfig,
+    crawl_day: int,
+    isolate_detector: bool,
+    on_detection: Callable[[SiteDetection], None] | None,
+    shard: CrawlShard,
+) -> CrawlResult:
+    """Crawl one shard with its own session/detector pair.
+
+    Module-level (not a closure) so :class:`ProcessPoolBackend` can pickle it.
+    Sessions are created lazily: after a timeout or a scheduled restart the
+    replacement is only spawned if another site remains, so the final page of
+    a shard never bumps ``sessions_started`` for a session that loads nothing.
+
+    ``on_detection`` fires after every page; backends that run shards inline
+    in the calling thread (``streams_inline``) use it for page-granular
+    streaming, pool backends pass ``None`` and stream per completed shard.
+    """
+    if isolate_detector:
+        detector = copy.deepcopy(detector)
+    result = CrawlResult()
+    session: CrawlSession | None = None
+    for publisher in shard.publishers:
+        if session is None:
+            session = CrawlSession(
+                environment=environment,
+                seed=config.seed,
+                page_load_timeout_ms=config.page_load_timeout_ms,
+                extra_dwell_ms=config.extra_dwell_ms,
+            )
+            result.sessions_started += 1
+        page = session.load(publisher, visit_index=crawl_day)
+        result.pages_visited += 1
+        if page.timed_out:
+            # The paper kills the instance after 60 s and moves on; the
+            # partially loaded page still yields whatever was observed.
+            result.timed_out_domains.append(publisher.domain)
+            session.kill()
+            session = None
+        detection = detector.inspect_page(page, crawl_day=crawl_day)
+        result.detections.append(detection)
+        if on_detection is not None:
+            on_detection(detection)
+        if session is not None and session.pages_loaded >= config.restart_every_pages:
+            session.kill()
+            session = None
+    if session is not None:
+        session.kill()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Execution backends
+
+
+class ExecutionBackend(Protocol):
+    """Strategy for running shard tasks; yields results in completion order."""
+
+    name: str
+    #: Whether shard workers share the calling process' memory, in which case
+    #: the engine hands each worker a deep-copied detector.
+    shares_memory: bool
+    #: Whether shards run inline in the calling thread, in shard order — in
+    #: which case the engine streams detections page by page through the
+    #: worker's ``on_detection`` hook instead of per completed shard.
+    streams_inline: bool
+
+    def execute(
+        self, task: ShardTask, shards: Sequence[CrawlShard]
+    ) -> Iterator[tuple[int, CrawlResult]]:
+        """Run ``task`` over every shard, yielding ``(shard_index, result)``."""
+        ...
+
+
+class SerialBackend:
+    """Run shards one after another in the calling thread (the default)."""
+
+    name = "serial"
+    shares_memory = False  # single caller-owned worker; no copy needed
+    streams_inline = True
+
+    def execute(
+        self, task: ShardTask, shards: Sequence[CrawlShard]
+    ) -> Iterator[tuple[int, CrawlResult]]:
+        for shard in shards:
+            yield shard.index, task(shard)
+
+
+class _ExecutorBackend:
+    """Shared machinery for ``concurrent.futures`` based backends."""
+
+    name = "executor"
+    shares_memory = True
+    streams_inline = False
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError("a pool backend needs at least one worker")
+        self.max_workers = max_workers
+
+    def _make_executor(self, n_shards: int) -> Executor:
+        raise NotImplementedError
+
+    def execute(
+        self, task: ShardTask, shards: Sequence[CrawlShard]
+    ) -> Iterator[tuple[int, CrawlResult]]:
+        if not shards:
+            return
+        with self._make_executor(len(shards)) as executor:
+            futures = {executor.submit(task, shard): shard.index for shard in shards}
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    yield futures[future], future.result()
+
+
+class ThreadPoolBackend(_ExecutorBackend):
+    """Fan shards out to a thread pool.
+
+    Page-load simulation is numpy-heavy enough that threads overlap some
+    work; more importantly the backend exercises the exact fan-out/merge
+    path of :class:`ProcessPoolBackend` without pickling, making it the
+    cheap way to test parallel semantics.
+    """
+
+    name = "thread"
+    shares_memory = True
+
+    def _make_executor(self, n_shards: int) -> Executor:
+        workers = self.max_workers or n_shards
+        return ThreadPoolExecutor(max_workers=min(workers, n_shards))
+
+
+class ProcessPoolBackend(_ExecutorBackend):
+    """Fan shards out to worker processes (true CPU parallelism).
+
+    Every task ships the environment, detector and config to the worker via
+    pickle, so each process owns fully isolated copies.
+    """
+
+    name = "process"
+    shares_memory = False  # pickling already isolates state
+
+    def _make_executor(self, n_shards: int) -> Executor:
+        workers = self.max_workers or n_shards
+        return ProcessPoolExecutor(max_workers=min(workers, n_shards))
+
+
+def backend_from_name(name: str, *, workers: int | None = None) -> ExecutionBackend:
+    """Build a backend from its configuration name."""
+    if name == "serial":
+        return SerialBackend()
+    if name == "thread":
+        return ThreadPoolBackend(max_workers=workers)
+    if name == "process":
+        return ProcessPoolBackend(max_workers=workers)
+    raise ConfigurationError(
+        f"unknown execution backend {name!r}; expected one of {', '.join(BACKEND_NAMES)}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# The engine
+
+
+class DetectionSinkLike(Protocol):
+    """Anything detections can be streamed to (see ``CrawlStorage.open_sink``)."""
+
+    def write(self, detection: SiteDetection) -> None: ...
+
+
+class CrawlEngine:
+    """Shards a crawl, fans it out to a backend, and merges canonically.
+
+    Parameters
+    ----------
+    environment / detector:
+        The simulated demand side and the detection tool; workers receive
+        their own copies whenever they share memory with the caller.
+    config:
+        Operational crawl parameters; ``config.workers`` and
+        ``config.backend`` choose the default execution strategy.
+    backend:
+        Explicit backend instance, overriding the config-derived one.
+    """
+
+    def __init__(
+        self,
+        environment: AuctionEnvironment,
+        detector: HBDetector,
+        config: CrawlConfig | None = None,
+        backend: ExecutionBackend | None = None,
+    ) -> None:
+        self.environment = environment
+        self.detector = detector
+        self.config = config or CrawlConfig()
+        self.backend = backend or backend_from_name(
+            self.config.backend, workers=self.config.workers
+        )
+
+    def plan(self, publishers: Sequence[Publisher] | PublisherPopulation) -> CrawlPlan:
+        """The shard plan this engine would use for ``publishers``."""
+        return CrawlPlan.build(
+            publishers, workers=self.config.workers, seed=self.config.seed
+        )
+
+    def crawl(
+        self,
+        publishers: Sequence[Publisher] | PublisherPopulation,
+        *,
+        crawl_day: int = 0,
+        progress: ProgressCallback | None = None,
+        sink: DetectionSinkLike | None = None,
+    ) -> CrawlResult:
+        """Visit every publisher once and run detection on each page load.
+
+        Detections reach ``progress`` and ``sink`` incrementally, always in
+        canonical site order: page by page on inline backends (serial), and
+        shard by shard — as soon as every earlier shard has completed — on
+        pool backends.
+        """
+        plan = self.plan(publishers)
+        emitted = 0
+
+        def emit(detection: SiteDetection) -> None:
+            nonlocal emitted
+            emitted += 1
+            if sink is not None:
+                sink.write(detection)
+            if progress is not None:
+                progress(emitted, plan.n_sites, detection)
+
+        inline = self.backend.streams_inline
+        task = partial(
+            _crawl_shard,
+            self.environment,
+            self.detector,
+            self.config,
+            crawl_day,
+            self.backend.shares_memory,
+            emit if inline else None,
+        )
+        # `execute` yields in completion order; shards are emitted (and
+        # ultimately merged) in shard order, holding back any that finish
+        # early. Every shard is yielded exactly once, so `ordered` is
+        # complete when the loop ends.
+        ordered: list[CrawlResult] = []
+        early: dict[int, CrawlResult] = {}
+        for shard_index, shard_result in self.backend.execute(task, plan.shards):
+            early[shard_index] = shard_result
+            while len(ordered) in early:
+                ready = early.pop(len(ordered))
+                if not inline:
+                    for detection in ready.detections:
+                        emit(detection)
+                ordered.append(ready)
+        return CrawlResult.merged(ordered)
+
+    def crawl_domains(
+        self,
+        population: PublisherPopulation,
+        domains: Iterable[str],
+        *,
+        crawl_day: int = 0,
+        progress: ProgressCallback | None = None,
+        sink: DetectionSinkLike | None = None,
+    ) -> CrawlResult:
+        """Crawl a subset of a population selected by domain name."""
+        publishers = [population.by_domain(domain) for domain in domains]
+        return self.crawl(publishers, crawl_day=crawl_day, progress=progress, sink=sink)

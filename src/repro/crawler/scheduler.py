@@ -4,17 +4,27 @@ The paper's measurement has two phases: one full pass over the 35k-site list
 to find HB-enabled sites, then a daily re-crawl of those ~5k sites for 34
 days.  The scheduler below orchestrates both phases and accumulates the
 resulting detections into one longitudinal dataset.
+
+The scheduler drives anything with the crawl interface — the classic
+:class:`~repro.crawler.crawler.Crawler` facade or a
+:class:`~repro.crawler.engine.CrawlEngine` directly — so parallel sharded
+crawls (``CrawlConfig(workers=8, backend="process")``) drop in without
+scheduler changes.  An optional ``sink`` streams every detection (discovery
+pass first, then each crawl day) to storage as it is produced.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence, Union
 
 from repro.crawler.crawler import Crawler, CrawlResult
 from repro.detector.records import SiteDetection
 from repro.ecosystem.publishers import PublisherPopulation
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.crawler.engine import CrawlEngine, DetectionSinkLike
 
 __all__ = ["LongitudinalCrawl", "LongitudinalScheduler"]
 
@@ -50,7 +60,12 @@ class LongitudinalCrawl:
 class LongitudinalScheduler:
     """Runs the discovery pass and then the daily re-crawls."""
 
-    def __init__(self, crawler: Crawler, *, recrawl_days: int = 34) -> None:
+    def __init__(
+        self,
+        crawler: Union[Crawler, "CrawlEngine"],
+        *,
+        recrawl_days: int = 34,
+    ) -> None:
         if recrawl_days < 0:
             raise ConfigurationError("the number of re-crawl days cannot be negative")
         self.crawler = crawler
@@ -61,18 +76,20 @@ class LongitudinalScheduler:
         population: PublisherPopulation,
         *,
         domains: Sequence[str] | None = None,
+        sink: "DetectionSinkLike | None" = None,
     ) -> LongitudinalCrawl:
         """Execute the full two-phase measurement.
 
         ``domains`` restricts the discovery pass (useful for scaled-down test
-        runs); by default the whole population is crawled.
+        runs); by default the whole population is crawled.  ``sink`` receives
+        every detection in crawl order as the campaign progresses.
         """
         targets = list(domains) if domains is not None else list(population.domains)
-        discovery = self.crawler.crawl_domains(population, targets, crawl_day=0)
+        discovery = self.crawler.crawl_domains(population, targets, crawl_day=0, sink=sink)
         longitudinal = LongitudinalCrawl(discovery=discovery)
 
         hb_domains = discovery.hb_domains
         for day in range(1, self.recrawl_days + 1):
-            daily = self.crawler.crawl_domains(population, hb_domains, crawl_day=day)
+            daily = self.crawler.crawl_domains(population, hb_domains, crawl_day=day, sink=sink)
             longitudinal.daily_results.append(daily)
         return longitudinal

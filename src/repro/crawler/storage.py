@@ -9,13 +9,14 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, Iterator
+from types import TracebackType
+from typing import IO, Iterable, Iterator
 
 from repro.detector.records import ObservedAuction, ObservedBid, SiteDetection
 from repro.errors import StorageError
 from repro.models import HBFacet
 
-__all__ = ["CrawlStorage", "detection_to_dict", "detection_from_dict"]
+__all__ = ["CrawlStorage", "DetectionSink", "detection_to_dict", "detection_from_dict"]
 
 
 def detection_to_dict(detection: SiteDetection) -> dict:
@@ -104,11 +105,89 @@ def detection_from_dict(data: dict) -> SiteDetection:
         raise StorageError(f"malformed detection record: {exc}") from exc
 
 
+class DetectionSink:
+    """Streaming writer of detections to a JSON-Lines file.
+
+    Used by the crawl engine to persist detections incrementally as shards
+    complete instead of buffering a whole crawl in memory; writing detections
+    one at a time produces byte-identical files to a single
+    :meth:`CrawlStorage.save` call over the same sequence.  Use as a context
+    manager (or call :meth:`close`), e.g.::
+
+        with CrawlStorage("crawl.jsonl").open_sink() as sink:
+            engine.crawl(population, sink=sink)
+    """
+
+    def __init__(self, path: str | Path, *, append: bool = False) -> None:
+        self.path = Path(path)
+        self.append = append
+        self.count = 0
+        self._handle: IO[str] | None = None
+        self._closed = False
+
+    def _ensure_open(self) -> IO[str]:
+        if self._closed:
+            # Reopening a "w"-mode sink would silently truncate everything
+            # written before close(); refuse instead.
+            raise StorageError(f"detection sink for {self.path} is closed")
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                self._handle = self.path.open("a" if self.append else "w", encoding="utf-8")
+            except OSError as exc:
+                raise StorageError(f"could not open {self.path}: {exc}") from exc
+        return self._handle
+
+    def write(self, detection: SiteDetection) -> None:
+        """Append one detection to the file (flushed per record)."""
+        handle = self._ensure_open()
+        try:
+            handle.write(json.dumps(detection_to_dict(detection)) + "\n")
+            handle.flush()
+        except OSError as exc:
+            raise StorageError(f"could not write {self.path}: {exc}") from exc
+        self.count += 1
+
+    def write_many(self, detections: Iterable[SiteDetection]) -> int:
+        """Append many detections; returns how many were written."""
+        before = self.count
+        for detection in detections:
+            self.write(detection)
+        return self.count - before
+
+    def close(self) -> None:
+        self._closed = True
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "DetectionSink":
+        self._ensure_open()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()
+
+
 class CrawlStorage:
     """Reads and writes JSON-Lines crawl datasets."""
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
+
+    def open_sink(self, *, append: bool = False) -> DetectionSink:
+        """Open a streaming sink over this dataset file.
+
+        ``append=False`` starts a fresh file (like :meth:`save`);
+        ``append=True`` extends an existing one (like :meth:`append`, e.g.
+        one sink per crawl day over a shared longitudinal file).
+        """
+        return DetectionSink(self.path, append=append)
 
     def save(self, detections: Iterable[SiteDetection]) -> int:
         """Write detections to the file, replacing previous content."""

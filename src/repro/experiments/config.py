@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.crawler.crawler import CrawlConfig
 from repro.ecosystem.publishers import PopulationConfig
 from repro.errors import ConfigurationError
 
@@ -37,6 +38,11 @@ class ExperimentConfig:
     historical_years: tuple[int, ...] = (2014, 2015, 2016, 2017, 2018, 2019)
     #: Vanilla (clean-slate) crawler profile, as in the paper.
     vanilla_profile: bool = True
+    #: Parallel crawl workers (shards); ``1`` is the paper's sequential crawl.
+    workers: int = 1
+    #: Crawl execution backend: ``"serial"``, ``"thread"`` or ``"process"``.
+    #: Detections are byte-identical across backends and worker counts.
+    crawl_backend: str = "serial"
 
     def __post_init__(self) -> None:
         if self.total_sites < 10:
@@ -51,6 +57,9 @@ class ExperimentConfig:
             raise ConfigurationError("the historical study needs at least 10 sites")
         if not self.historical_years:
             raise ConfigurationError("the historical study needs at least one year")
+        # workers / crawl_backend validation lives in CrawlConfig; building
+        # the crawl config surfaces any error at construction time.
+        self.crawl_config()
 
     # -- presets ------------------------------------------------------------------
     @classmethod
@@ -73,6 +82,13 @@ class ExperimentConfig:
     def population_config(self) -> PopulationConfig:
         """The publisher-population configuration this experiment implies."""
         return PopulationConfig(seed=self.seed).scaled(self.total_sites)
+
+    def crawl_config(self) -> CrawlConfig:
+        """The crawler configuration this experiment implies."""
+        return CrawlConfig(seed=self.seed, workers=self.workers, backend=self.crawl_backend)
+
+    def with_parallelism(self, workers: int, backend: str = "thread") -> "ExperimentConfig":
+        return replace(self, workers=workers, crawl_backend=backend)
 
     def with_sites(self, total_sites: int) -> "ExperimentConfig":
         return replace(self, total_sites=total_sites)

@@ -18,7 +18,8 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.analysis.dataset import CrawlDataset
-from repro.crawler.crawler import CrawlConfig, Crawler
+from repro.crawler.crawler import Crawler
+from repro.crawler.storage import CrawlStorage
 from repro.crawler.historical import HistoricalAdoption, HistoricalCrawler
 from repro.crawler.scheduler import LongitudinalCrawl, LongitudinalScheduler
 from repro.detector.detector import HBDetector
@@ -79,8 +80,19 @@ class ExperimentRunner:
         return HBDetector(known)
 
     # -- main entry points ----------------------------------------------------------
-    def run(self, *, use_cache: bool = True) -> ExperimentArtifacts:
-        """Run (or reuse) the full crawl campaign for this configuration."""
+    def run(
+        self,
+        *,
+        use_cache: bool = True,
+        storage: CrawlStorage | None = None,
+    ) -> ExperimentArtifacts:
+        """Run (or reuse) the full crawl campaign for this configuration.
+
+        ``storage`` streams every detection to disk incrementally as the
+        campaign progresses (discovery pass first, then each crawl day) —
+        runs given a storage are never served from the artifact cache, since
+        a cache hit would skip the writes.
+        """
         cache_key = (
             self.config.total_sites,
             self.config.seed,
@@ -88,16 +100,23 @@ class ExperimentRunner:
             self.config.detector_coverage,
             self.config.total_partners,
             self.config.vanilla_profile,
+            self.config.workers,
+            self.config.crawl_backend,
         )
+        use_cache = use_cache and storage is None
         if use_cache and cache_key in _ARTIFACT_CACHE:
             return _ARTIFACT_CACHE[cache_key]
 
         population = self.build_population()
         environment = self.build_environment(population)
         detector = self.build_detector(population)
-        crawler = Crawler(environment, detector, CrawlConfig(seed=self.config.seed))
+        crawler = Crawler(environment, detector, self.config.crawl_config())
         scheduler = LongitudinalScheduler(crawler, recrawl_days=self.config.recrawl_days)
-        longitudinal = scheduler.run(population)
+        if storage is not None:
+            with storage.open_sink() as sink:
+                longitudinal = scheduler.run(population, sink=sink)
+        else:
+            longitudinal = scheduler.run(population)
         dataset = CrawlDataset.from_detections(
             longitudinal.all_detections, label=f"crawl-{self.config.total_sites}"
         )

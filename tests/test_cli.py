@@ -41,3 +41,30 @@ class TestMain:
         out = capsys.readouterr().out
         assert "Figure 4" in out
         assert "2019" in out
+
+
+class TestParallelCli:
+    def test_parallel_flags_parse(self):
+        args = build_parser().parse_args(
+            ["run", "--workers", "4", "--backend", "thread", "--save", "out.jsonl"])
+        assert args.workers == 4
+        assert args.backend == "thread"
+        assert args.save == "out.jsonl"
+        defaults = build_parser().parse_args(["run"])
+        assert (defaults.workers, defaults.backend, defaults.save) == (1, "serial", None)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--backend", "gpu"])
+
+    def test_parallel_run_with_save_streams_detections(self, capsys, tmp_path):
+        out = tmp_path / "crawl.jsonl"
+        exit_code = main(["run", "--sites", "400", "--days", "0", "--seed", "7",
+                          "--workers", "2", "--backend", "thread",
+                          "--save", str(out), "--figures", "table1"])
+        assert exit_code == 0
+        assert "Streamed" in capsys.readouterr().out
+
+        from repro.crawler.storage import CrawlStorage
+        detections = CrawlStorage(out).load()
+        assert len(detections) == 400

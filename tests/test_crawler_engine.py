@@ -1,0 +1,315 @@
+"""Unit tests for the sharded crawl engine and its execution backends."""
+
+import json
+
+import pytest
+
+from repro.crawler.crawler import CrawlConfig, Crawler, CrawlResult
+from repro.crawler.engine import (
+    BACKEND_NAMES,
+    CrawlEngine,
+    CrawlPlan,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    backend_from_name,
+)
+from repro.crawler.scheduler import LongitudinalScheduler
+from repro.crawler.storage import CrawlStorage, detection_to_dict
+from repro.detector.records import SiteDetection
+from repro.errors import ConfigurationError
+
+
+def serialise(detections):
+    return json.dumps([detection_to_dict(d) for d in detections])
+
+
+class TestCrawlPlan:
+    def test_single_worker_is_one_shard(self, small_population):
+        sites = list(small_population)[:10]
+        plan = CrawlPlan.build(sites, workers=1, seed=3)
+        assert len(plan.shards) == 1
+        assert plan.shards[0].publishers == tuple(sites)
+        assert plan.n_sites == 10
+
+    def test_shards_are_contiguous_and_balanced(self, small_population):
+        sites = list(small_population)[:11]
+        plan = CrawlPlan.build(sites, workers=3, seed=3)
+        assert [len(shard) for shard in plan.shards] == [4, 4, 3]
+        assert [shard.start for shard in plan.shards] == [0, 4, 8]
+        assert plan.site_order == tuple(p.domain for p in sites)
+
+    def test_plan_is_deterministic(self, small_population):
+        sites = list(small_population)[:20]
+        assert CrawlPlan.build(sites, workers=4, seed=9) == CrawlPlan.build(
+            sites, workers=4, seed=9
+        )
+
+    def test_shard_seeds_derive_from_seed_and_index(self, small_population):
+        sites = list(small_population)[:20]
+        plan = CrawlPlan.build(sites, workers=4, seed=9)
+        seeds = [shard.shard_seed for shard in plan.shards]
+        assert len(set(seeds)) == len(seeds)
+        assert seeds != [s.shard_seed for s in CrawlPlan.build(sites, workers=4, seed=10).shards]
+
+    def test_more_workers_than_sites(self, small_population):
+        sites = list(small_population)[:3]
+        plan = CrawlPlan.build(sites, workers=8, seed=3)
+        assert len(plan.shards) == 3
+        assert all(len(shard) == 1 for shard in plan.shards)
+
+    def test_empty_site_list(self):
+        plan = CrawlPlan.build([], workers=4, seed=3)
+        assert plan.n_sites == 0
+        assert len(plan.shards) == 1
+        assert plan.shards[0].publishers == ()
+
+    def test_workers_must_be_positive(self, small_population):
+        with pytest.raises(ConfigurationError):
+            CrawlPlan.build(list(small_population)[:4], workers=0, seed=3)
+
+
+class TestCrawlResultMerge:
+    @staticmethod
+    def result(*domains, timed_out=(), sessions=1):
+        detections = [SiteDetection(domain=d, rank=1, hb_detected=False) for d in domains]
+        return CrawlResult(
+            detections=detections,
+            timed_out_domains=list(timed_out),
+            pages_visited=len(detections),
+            sessions_started=sessions,
+        )
+
+    def test_merge_preserves_order_and_sums_counters(self):
+        merged = self.result("a", "b", sessions=2).merge(self.result("c", timed_out=["c"]))
+        assert [d.domain for d in merged.detections] == ["a", "b", "c"]
+        assert merged.timed_out_domains == ["c"]
+        assert merged.pages_visited == 3
+        assert merged.sessions_started == 3
+
+    def test_merge_does_not_mutate_inputs(self):
+        left, right = self.result("a"), self.result("b")
+        left.merge(right)
+        assert [d.domain for d in left.detections] == ["a"]
+        assert [d.domain for d in right.detections] == ["b"]
+
+    def test_merged_equals_left_fold(self):
+        parts = [self.result("a"), self.result("b", "c"), self.result("d")]
+        merged = CrawlResult.merged(parts)
+        folded = parts[0].merge(parts[1]).merge(parts[2])
+        assert merged.detections == folded.detections
+        assert [d.domain for d in merged.detections] == ["a", "b", "c", "d"]
+
+    def test_merged_is_order_deterministic(self):
+        parts = [self.result("a"), self.result("b")]
+        assert [d.domain for d in CrawlResult.merged(parts).detections] == ["a", "b"]
+        assert [d.domain for d in CrawlResult.merged(reversed(parts)).detections] == ["b", "a"]
+
+    def test_merged_of_nothing_is_empty(self):
+        merged = CrawlResult.merged([])
+        assert merged.detections == []
+        assert merged.pages_visited == 0
+
+
+class TestBackendFactory:
+    def test_names_round_trip(self):
+        assert backend_from_name("serial").name == "serial"
+        assert backend_from_name("thread", workers=2).name == "thread"
+        assert backend_from_name("process", workers=2).name == "process"
+        assert set(BACKEND_NAMES) == {"serial", "thread", "process"}
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            backend_from_name("gpu")
+
+    def test_pool_workers_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            ThreadPoolBackend(max_workers=0)
+
+    def test_config_validates_knobs(self):
+        with pytest.raises(ConfigurationError):
+            CrawlConfig(workers=0)
+        with pytest.raises(ConfigurationError):
+            CrawlConfig(backend="gpu")
+
+
+class TestBackendEquivalence:
+    """The acceptance criterion: identical detections for any worker count."""
+
+    @pytest.fixture(scope="class")
+    def sites(self, small_population):
+        return list(small_population)[:48]
+
+    @pytest.fixture(scope="class")
+    def serial_result(self, environment, detector, sites):
+        engine = CrawlEngine(environment, detector, CrawlConfig(seed=5))
+        return engine.crawl(sites)
+
+    @pytest.mark.parametrize("backend_name", ["thread", "process"])
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_parallel_matches_serial_byte_for_byte(
+        self, environment, detector, sites, serial_result, backend_name, workers
+    ):
+        engine = CrawlEngine(
+            environment,
+            detector,
+            CrawlConfig(seed=5, workers=workers, backend=backend_name),
+        )
+        result = engine.crawl(sites)
+        assert serialise(result.detections) == serialise(serial_result.detections)
+        assert result.timed_out_domains == serial_result.timed_out_domains
+        assert result.pages_visited == serial_result.pages_visited
+
+    def test_explicit_backend_instance_overrides_config(self, environment, detector, sites, serial_result):
+        engine = CrawlEngine(
+            environment,
+            detector,
+            CrawlConfig(seed=5, workers=3),
+            backend=ThreadPoolBackend(),
+        )
+        assert engine.backend.name == "thread"
+        assert serialise(engine.crawl(sites).detections) == serialise(serial_result.detections)
+
+    def test_timeouts_identical_across_backends(self, environment, detector, sites):
+        config = CrawlConfig(seed=5, page_load_timeout_ms=10.0)
+        serial = CrawlEngine(environment, detector, config).crawl(sites)
+        parallel = CrawlEngine(
+            environment,
+            detector,
+            CrawlConfig(seed=5, page_load_timeout_ms=10.0, workers=4, backend="thread"),
+        ).crawl(sites)
+        assert serial.timed_out_domains == parallel.timed_out_domains == [p.domain for p in sites]
+        assert serialise(serial.detections) == serialise(parallel.detections)
+
+
+class TestStreamingAndProgress:
+    def test_progress_is_called_in_canonical_order(self, environment, detector, small_population):
+        sites = list(small_population)[:12]
+        engine = CrawlEngine(
+            environment, detector, CrawlConfig(seed=5, workers=4, backend="thread")
+        )
+        seen = []
+        engine.crawl(sites, progress=lambda i, n, d: seen.append((i, n, d.domain)))
+        assert [entry[0] for entry in seen] == list(range(1, 13))
+        assert all(entry[1] == 12 for entry in seen)
+        assert [entry[2] for entry in seen] == [p.domain for p in sites]
+
+    def test_sink_receives_detections_in_canonical_order(
+        self, environment, detector, small_population, tmp_path
+    ):
+        sites = list(small_population)[:12]
+        engine = CrawlEngine(
+            environment, detector, CrawlConfig(seed=5, workers=3, backend="thread")
+        )
+        storage = CrawlStorage(tmp_path / "stream.jsonl")
+        with storage.open_sink() as sink:
+            result = engine.crawl(sites, sink=sink)
+        assert sink.count == len(sites)
+        assert storage.load() == result.detections
+
+    def test_streamed_bytes_equal_buffered_bytes(
+        self, environment, detector, small_population, tmp_path
+    ):
+        sites = list(small_population)[:12]
+        engine = CrawlEngine(
+            environment, detector, CrawlConfig(seed=5, workers=3, backend="thread")
+        )
+        streamed = CrawlStorage(tmp_path / "streamed.jsonl")
+        with streamed.open_sink() as sink:
+            result = engine.crawl(sites, sink=sink)
+        buffered = CrawlStorage(tmp_path / "buffered.jsonl")
+        buffered.save(result.detections)
+        assert streamed.path.read_bytes() == buffered.path.read_bytes()
+
+
+class TestSessionAccounting:
+    """The crawl never spawns a replacement session after the final site."""
+
+    def test_one_session_per_page_exactly(self, environment, detector, small_population):
+        crawler = Crawler(environment, detector, CrawlConfig(seed=5))
+        result = crawler.crawl(list(small_population)[:10])
+        assert result.pages_visited == 10
+        assert result.sessions_started == 10
+
+    def test_final_timeout_spawns_no_replacement(self, environment, detector, small_population):
+        crawler = Crawler(
+            environment, detector, CrawlConfig(seed=5, page_load_timeout_ms=10.0)
+        )
+        result = crawler.crawl(list(small_population)[:15])
+        assert len(result.timed_out_domains) == 15
+        assert result.sessions_started == 15
+
+    def test_restart_every_pages_batches_sessions(self, environment, detector, small_population):
+        crawler = Crawler(environment, detector, CrawlConfig(seed=5, restart_every_pages=3))
+        result = crawler.crawl(list(small_population)[:10])
+        if result.timed_out_domains:
+            pytest.skip("timeouts would perturb the batch arithmetic")
+        assert result.sessions_started == 4  # pages 1-3, 4-6, 7-9, 10
+
+    def test_empty_crawl_starts_no_session(self, environment, detector):
+        crawler = Crawler(environment, detector, CrawlConfig(seed=5))
+        result = crawler.crawl([])
+        assert result.sessions_started == 0
+        assert result.pages_visited == 0
+
+
+class TestFacadeAndScheduler:
+    def test_crawler_facade_delegates_to_engine(self, environment, detector, small_population):
+        crawler = Crawler(environment, detector, CrawlConfig(seed=5))
+        assert isinstance(crawler.engine, CrawlEngine)
+        assert isinstance(crawler.engine.backend, SerialBackend)
+        direct = crawler.engine.crawl(list(small_population)[:8])
+        via_facade = crawler.crawl(list(small_population)[:8])
+        assert serialise(direct.detections) == serialise(via_facade.detections)
+
+    def test_scheduler_accepts_engine_and_streams(
+        self, environment, detector, small_population, tmp_path
+    ):
+        engine = CrawlEngine(
+            environment, detector, CrawlConfig(seed=9, workers=2, backend="thread")
+        )
+        scheduler = LongitudinalScheduler(engine, recrawl_days=1)
+        storage = CrawlStorage(tmp_path / "longitudinal.jsonl")
+        domains = small_population.domains[:30]
+        with storage.open_sink() as sink:
+            longitudinal = scheduler.run(small_population, domains=domains, sink=sink)
+        assert storage.load() == longitudinal.all_detections
+
+    def test_parallel_scheduler_matches_serial(self, environment, detector, small_population):
+        domains = small_population.domains[:30]
+        serial = LongitudinalScheduler(
+            Crawler(environment, detector, CrawlConfig(seed=9)), recrawl_days=1
+        ).run(small_population, domains=domains)
+        parallel = LongitudinalScheduler(
+            CrawlEngine(environment, detector, CrawlConfig(seed=9, workers=4, backend="process")),
+            recrawl_days=1,
+        ).run(small_population, domains=domains)
+        assert serialise(serial.all_detections) == serialise(parallel.all_detections)
+
+    def test_serial_backend_streams_page_by_page(
+        self, environment, detector, small_population, monkeypatch
+    ):
+        """With the default serial backend the sink is fed after every page
+        load, not in one burst once the whole crawl has finished."""
+        import repro.crawler.engine as engine_mod
+
+        events = []
+
+        class SpySession(engine_mod.CrawlSession):
+            def load(self, publisher, *, visit_index=0):
+                events.append(("load", publisher.domain))
+                return super().load(publisher, visit_index=visit_index)
+
+        monkeypatch.setattr(engine_mod, "CrawlSession", SpySession)
+
+        class ListSink:
+            def write(self, detection):
+                events.append(("write", detection.domain))
+
+        sites = list(small_population)[:4]
+        engine = CrawlEngine(environment, detector, CrawlConfig(seed=5))
+        engine.crawl(sites, sink=ListSink())
+        expected = []
+        for publisher in sites:
+            expected += [("load", publisher.domain), ("write", publisher.domain)]
+        assert events == expected

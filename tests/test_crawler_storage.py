@@ -75,3 +75,106 @@ class TestCrawlStorage:
         CrawlStorage(path).save([sample_detection()])
         for line in path.read_text(encoding="utf-8").splitlines():
             json.loads(line)
+
+
+class TestEdgeCaseRoundTrips:
+    def test_timed_out_page_round_trips(self, tmp_path):
+        """A killed-at-60s page: nothing observed, only the load bookkeeping."""
+        detection = SiteDetection(
+            domain="slow.example", rank=9_001, hb_detected=False,
+            crawl_day=3, page_load_ms=61_204.5,
+        )
+        storage = CrawlStorage(tmp_path / "crawl.jsonl")
+        storage.save([detection])
+        assert storage.load() == [detection]
+
+    def test_hb_detection_with_no_auctions_or_partners_round_trips(self, tmp_path):
+        """DOM events alone can flag HB before any auction/partner is seen."""
+        detection = SiteDetection(
+            domain="quiet.example", rank=12, hb_detected=True, facet=HBFacet.CLIENT_SIDE,
+            library="prebid.js", partners=(), auctions=(),
+            detection_channels=("dom-events",),
+        )
+        restored = detection_from_dict(detection_to_dict(detection))
+        assert restored == detection
+        assert restored.partners == ()
+        assert restored.auctions == ()
+        storage = CrawlStorage(tmp_path / "crawl.jsonl")
+        storage.save([detection])
+        assert storage.load() == [detection]
+
+    def test_auction_with_no_bids_round_trips(self, tmp_path):
+        auction = ObservedAuction(slot_code="s1", size=None, bids=(),
+                                  start_ms=10.0, end_ms=20.0, facet=HBFacet.CLIENT_SIDE)
+        detection = SiteDetection(
+            domain="nobids.example", rank=5, hb_detected=True, facet=HBFacet.CLIENT_SIDE,
+            auctions=(auction,),
+        )
+        storage = CrawlStorage(tmp_path / "crawl.jsonl")
+        storage.save([detection])
+        assert storage.load() == [detection]
+
+
+class TestDetectionSink:
+    def detections(self):
+        return [sample_detection(f"site{i}.example", day=i) for i in range(6)]
+
+    def test_chunked_writes_equal_one_shot_save(self, tmp_path):
+        detections = self.detections()
+        chunked_path = tmp_path / "chunked.jsonl"
+        with CrawlStorage(chunked_path).open_sink() as sink:
+            sink.write_many(detections[:2])
+            sink.write(detections[2])
+            sink.write_many(detections[3:])
+        at_once_path = tmp_path / "at_once.jsonl"
+        CrawlStorage(at_once_path).save(detections)
+        assert chunked_path.read_bytes() == at_once_path.read_bytes()
+
+    def test_sink_counts_written_records(self, tmp_path):
+        detections = self.detections()
+        with CrawlStorage(tmp_path / "crawl.jsonl").open_sink() as sink:
+            assert sink.write_many(detections[:4]) == 4
+            sink.write(detections[4])
+            assert sink.count == 5
+
+    def test_fresh_sink_truncates_previous_content(self, tmp_path):
+        storage = CrawlStorage(tmp_path / "crawl.jsonl")
+        storage.save(self.detections())
+        with storage.open_sink() as sink:
+            sink.write(sample_detection())
+        assert len(storage.load()) == 1
+
+    def test_append_sink_extends_previous_content(self, tmp_path):
+        storage = CrawlStorage(tmp_path / "crawl.jsonl")
+        storage.save(self.detections()[:2])
+        with storage.open_sink(append=True) as sink:
+            sink.write_many(self.detections()[2:4])
+        assert storage.load() == self.detections()[:4]
+
+    def test_one_sink_per_day_equals_one_append_per_day(self, tmp_path):
+        """The longitudinal pattern: a fresh append-mode sink per crawl day."""
+        detections = self.detections()
+        sink_path = tmp_path / "sinks.jsonl"
+        for day_chunk in (detections[:3], detections[3:]):
+            with CrawlStorage(sink_path).open_sink(append=True) as sink:
+                sink.write_many(day_chunk)
+        append_path = tmp_path / "appends.jsonl"
+        CrawlStorage(append_path).append(detections[:3])
+        CrawlStorage(append_path).append(detections[3:])
+        assert sink_path.read_bytes() == append_path.read_bytes()
+
+    def test_entering_sink_creates_parent_directories(self, tmp_path):
+        nested = tmp_path / "deep" / "run" / "crawl.jsonl"
+        with CrawlStorage(nested).open_sink() as sink:
+            pass
+        assert nested.exists()
+        assert sink.count == 0
+
+    def test_write_after_close_raises_instead_of_truncating(self, tmp_path):
+        storage = CrawlStorage(tmp_path / "crawl.jsonl")
+        sink = storage.open_sink()
+        sink.write(sample_detection())
+        sink.close()
+        with pytest.raises(StorageError):
+            sink.write(sample_detection("late.example"))
+        assert storage.load() == [sample_detection()]

@@ -81,3 +81,42 @@ class TestExperimentRunner:
         config = ExperimentConfig.test_scale()
         historical = ExperimentRunner(config).run_historical()
         assert historical.years == tuple(sorted(config.historical_years))
+
+
+class TestParallelExperiments:
+    def test_parallelism_knobs_validate(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(workers=0)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(crawl_backend="gpu")
+
+    def test_crawl_config_inherits_knobs(self):
+        config = ExperimentConfig(seed=11, workers=6, crawl_backend="thread")
+        crawl_config = config.crawl_config()
+        assert crawl_config.seed == 11
+        assert crawl_config.workers == 6
+        assert crawl_config.backend == "thread"
+
+    def test_with_parallelism_returns_new_config(self):
+        config = ExperimentConfig().with_parallelism(4, "process")
+        assert (config.workers, config.crawl_backend) == (4, "process")
+        assert ExperimentConfig().workers == 1
+
+    def test_parallel_run_reproduces_serial_summary(self):
+        serial = ExperimentConfig(total_sites=400, seed=321, recrawl_days=0,
+                                  historical_sites=100)
+        parallel = serial.with_parallelism(4, "thread")
+        serial_artifacts = ExperimentRunner(serial).run(use_cache=False)
+        parallel_artifacts = ExperimentRunner(parallel).run(use_cache=False)
+        assert dict(serial_artifacts.summary) == dict(parallel_artifacts.summary)
+        assert [d.domain for d in serial_artifacts.longitudinal.all_detections] == \
+               [d.domain for d in parallel_artifacts.longitudinal.all_detections]
+
+    def test_run_streams_to_storage(self, tmp_path):
+        from repro.crawler.storage import CrawlStorage
+
+        config = ExperimentConfig(total_sites=400, seed=321, recrawl_days=1,
+                                  historical_sites=100, workers=2, crawl_backend="thread")
+        storage = CrawlStorage(tmp_path / "campaign.jsonl")
+        artifacts = ExperimentRunner(config).run(storage=storage)
+        assert storage.load() == artifacts.longitudinal.all_detections
