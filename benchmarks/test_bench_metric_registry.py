@@ -1,0 +1,85 @@
+"""Benchmark: the all-figures analysis path over one crawl dataset.
+
+The metric registry computes every dataset-only artefact of the paper over
+the shared bench-scale crawl.  Three variants quantify the dataset-index
+redesign:
+
+* ``uncached`` — every view is rebuilt on every access, the pre-registry
+  behaviour where each figure re-scanned all detections from scratch;
+* ``cold`` — indices are invalidated before each round, so the all-figures
+  path pays each index build exactly once;
+* ``warm`` — indices are already built, the steady state of a long-lived
+  analysis process.
+
+Comparing ``uncached`` to ``cold``/``warm`` shows the speedup the cached
+indices buy on the all-figures path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.dataset import CrawlDataset
+from repro.analysis.registry import available_metrics, compute_metric
+
+
+class _UncachedDataset(CrawlDataset):
+    """A dataset that rebuilds every view on each access (the old behaviour)."""
+
+    def _index(self, key, build):
+        return build()
+
+
+def _dataset_copy(artifacts, cls=CrawlDataset) -> CrawlDataset:
+    return cls.from_detections(artifacts.dataset.detections, label="bench")
+
+
+def _all_figures(context: AnalysisContext) -> int:
+    produced = 0
+    for name in available_metrics(context):
+        assert compute_metric(name, context).text
+        produced += 1
+    return produced
+
+
+@pytest.fixture(scope="module")
+def offline_names(artifacts):
+    return available_metrics(AnalysisContext.offline(artifacts.dataset))
+
+
+def test_bench_all_figures_uncached(benchmark, artifacts, offline_names):
+    context = AnalysisContext.offline(_dataset_copy(artifacts, _UncachedDataset))
+    count = benchmark(_all_figures, context)
+    assert count == len(offline_names)
+
+
+def test_bench_all_figures_cold_indices(benchmark, artifacts, offline_names):
+    dataset = _dataset_copy(artifacts)
+    context = AnalysisContext.offline(dataset)
+
+    def run() -> int:
+        dataset.invalidate_indices()
+        return _all_figures(context)
+
+    count = benchmark(run)
+    assert count == len(offline_names)
+
+
+def test_bench_all_figures_warm_indices(benchmark, artifacts, offline_names):
+    dataset = _dataset_copy(artifacts)
+    context = AnalysisContext.offline(dataset)
+    _all_figures(context)  # build every index once
+    count = benchmark(_all_figures, context)
+    assert count == len(offline_names)
+
+
+def test_all_figures_build_each_index_once(artifacts):
+    """The whole all-figures path must be pure cache hits on a second pass."""
+    dataset = _dataset_copy(artifacts)
+    context = AnalysisContext.offline(dataset)
+    _all_figures(context)
+    builds_after_first_pass = dataset.index_stats()["builds"]
+    assert builds_after_first_pass > 0
+    _all_figures(context)
+    assert dataset.index_stats()["builds"] == builds_after_first_pass

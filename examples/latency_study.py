@@ -5,18 +5,33 @@ relates to site popularity, the fastest and slowest demand partners, the cost
 of adding partners and ad-slots, the late bids the broadcast model produces,
 and the comparison against the traditional waterfall.
 
+It is written against the metric-registry API: each artefact is one
+``compute_metric`` call against an :class:`~repro.analysis.AnalysisContext`,
+and with ``--save`` / ``--load`` the same study runs offline from a saved
+crawl (no re-simulation; simulation-only artefacts are skipped).
+
 Run with::
 
     python examples/latency_study.py [--sites 3000] [--days 1] [--seed 2019]
+    python examples/latency_study.py --save crawl.jsonl
+    python examples/latency_study.py --load crawl.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
 
+from repro.analysis import AnalysisContext, CrawlDataset, available_metrics, compute_metric
+from repro.crawler.storage import CrawlStorage
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentRunner
-from repro.experiments import figures
+
+#: The §5.2-§5.3 artefacts, in paper order, plus the waterfall comparison.
+LATENCY_STUDY_METRICS = [
+    "fig12", "fig13", "fig14", "fig15", "fig16",
+    "fig17", "fig18", "fig19", "fig20",
+    "waterfall",
+]
 
 
 def parse_args() -> argparse.Namespace:
@@ -24,39 +39,44 @@ def parse_args() -> argparse.Namespace:
     parser.add_argument("--sites", type=int, default=3_000, help="simulated websites to crawl")
     parser.add_argument("--days", type=int, default=1, help="daily re-crawls of HB sites")
     parser.add_argument("--seed", type=int, default=2019, help="random seed")
-    return parser.parse_args()
+    parser.add_argument("--save", metavar="PATH", default=None,
+                        help="stream the crawl to this JSON-Lines file")
+    parser.add_argument("--load", metavar="PATH", default=None,
+                        help="analyse a saved crawl instead of re-simulating")
+    args = parser.parse_args()
+    if args.load and args.save:
+        parser.error("--save cannot be combined with --load (nothing is crawled)")
+    return args
+
+
+def build_context(args: argparse.Namespace) -> AnalysisContext:
+    if args.load:
+        return AnalysisContext.offline(CrawlDataset.from_jsonl(args.load))
+    config = ExperimentConfig(total_sites=args.sites, recrawl_days=args.days, seed=args.seed)
+    storage = CrawlStorage(args.save) if args.save else None
+    artifacts = ExperimentRunner(config).run(storage=storage)
+    return AnalysisContext.from_artifacts(artifacts)
 
 
 def main() -> None:
     args = parse_args()
-    config = ExperimentConfig(total_sites=args.sites, recrawl_days=args.days, seed=args.seed)
-    artifacts = ExperimentRunner(config).run()
+    context = build_context(args)
+    computable = set(available_metrics(context))
 
-    latency = figures.figure12_latency_ecdf(artifacts)
-    print(latency["text"])
-    print()
-    print(f"Median total HB latency: {latency['median_ms']:.0f} ms; "
-          f"{latency['share_above_1s'] * 100:.1f}% of sites above 1 s; "
-          f"{latency['share_above_3s'] * 100:.1f}% above 3 s.")
-    print()
-
-    print(figures.figure13_latency_vs_rank(artifacts)["text"])
-    print()
-    print(figures.figure14_partner_latency(artifacts)["text"])
-    print()
-    print(figures.figure15_latency_vs_partner_count(artifacts)["text"])
-    print()
-    print(figures.figure16_latency_vs_popularity(artifacts)["text"])
-    print()
-    print(figures.figure17_late_bids_ecdf(artifacts)["text"])
-    print()
-    print(figures.figure18_late_bids_per_partner(artifacts)["text"])
-    print()
-    print(figures.figure19_adslots_ecdf(artifacts)["text"])
-    print()
-    print(figures.figure20_latency_vs_adslots(artifacts)["text"])
-    print()
-    print(figures.waterfall_latency_comparison(artifacts)["text"])
+    for name in LATENCY_STUDY_METRICS:
+        if name not in computable:
+            print(f"[skipping {name}: needs the simulated environment, "
+                  f"which an offline dataset does not carry]")
+            print()
+            continue
+        result = compute_metric(name, context)
+        print(result.text)
+        print()
+        if name == "fig12":
+            print(f"Median total HB latency: {result.data['median_ms']:.0f} ms; "
+                  f"{result.data['share_above_1s'] * 100:.1f}% of sites above 1 s; "
+                  f"{result.data['share_above_3s'] * 100:.1f}% above 3 s.")
+            print()
 
 
 if __name__ == "__main__":

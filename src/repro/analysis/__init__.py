@@ -1,13 +1,37 @@
 """Analysis of crawled header-bidding datasets.
 
-Every figure and table in the paper's evaluation section maps to one function
-or class in this package.  The functions consume :class:`~repro.analysis.dataset.CrawlDataset`
-objects (collections of per-page detections) and return plain data structures
-(dicts, lists of rows, ECDF arrays) that the benchmarks and examples print.
+Every figure and table in the paper's evaluation section maps to one
+registered :class:`~repro.analysis.registry.Metric` in this package, computed
+over a :class:`~repro.analysis.dataset.CrawlDataset` (a collection of
+per-page detections with lazily-cached indices) through an
+:class:`~repro.analysis.context.AnalysisContext`::
+
+    from repro.analysis import AnalysisContext, CrawlDataset, compute_metric
+
+    dataset = CrawlDataset.from_jsonl("crawl.jsonl")
+    result = compute_metric("fig12", AnalysisContext.offline(dataset))
+    print(result.text)
+
+The underlying per-figure computation functions remain importable from the
+individual modules for callers that want raw data structures instead of the
+:class:`~repro.analysis.registry.MetricResult` envelope.
 """
 
 from repro.analysis.stats import Ecdf, WhiskerStats, ecdf, percentile, whisker_stats
 from repro.analysis.dataset import CrawlDataset
+from repro.analysis.context import AnalysisContext
+from repro.analysis.registry import (
+    FunctionMetric,
+    Metric,
+    MetricResult,
+    available_metrics,
+    compute_metric,
+    get_metric,
+    iter_metrics,
+    metric_names,
+    register_metric,
+)
+from repro.analysis import summary as summary  # registers table1/accuracy metrics
 from repro.analysis.adoption import adoption_by_rank_tier, adoption_summary
 from repro.analysis.partners import (
     partner_popularity,
@@ -36,6 +60,16 @@ __all__ = [
     "percentile",
     "whisker_stats",
     "CrawlDataset",
+    "AnalysisContext",
+    "Metric",
+    "MetricResult",
+    "FunctionMetric",
+    "available_metrics",
+    "compute_metric",
+    "get_metric",
+    "iter_metrics",
+    "metric_names",
+    "register_metric",
     "adoption_by_rank_tier",
     "adoption_summary",
     "partner_popularity",

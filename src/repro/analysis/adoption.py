@@ -16,11 +16,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro.analysis.context import AnalysisContext
 from repro.analysis.dataset import CrawlDataset
+from repro.analysis.registry import register_metric
+from repro.analysis.reporting import format_table
 from repro.crawler.historical import HistoricalAdoption
 from repro.errors import EmptyDatasetError
 
-__all__ = ["RankTierAdoption", "adoption_by_rank_tier", "adoption_summary", "historical_adoption_rows"]
+__all__ = [
+    "RankTierAdoption",
+    "adoption_by_rank_tier",
+    "adoption_summary",
+    "historical_adoption_rows",
+    "adoption_by_rank_result",
+    "adoption_history_result",
+]
 
 
 @dataclass(frozen=True)
@@ -122,3 +132,52 @@ def historical_adoption_rows(historical: HistoricalAdoption) -> list[dict[str, f
             }
         )
     return rows
+
+
+# -- registered metrics ------------------------------------------------------------
+
+
+@register_metric(
+    "adoption",
+    title="HB adoption by rank tier",
+    ref="§3.2",
+    render={"kind": "table"},
+)
+def adoption_by_rank_result(context: AnalysisContext) -> dict:
+    """§3.2: adoption rate per rank tier (top 5k / 5k-15k / rest)."""
+    tiers = adoption_by_rank_tier(context.dataset)
+    overall = adoption_summary(context.dataset)["overall"]
+    text = format_table(
+        ["rank tier", "sites", "HB sites", "adoption"],
+        [
+            (tier.tier_label, tier.sites, tier.hb_sites, f"{tier.adoption_rate * 100:.1f}%")
+            for tier in tiers
+        ]
+        + [("overall", int(sum(t.sites for t in tiers)), int(sum(t.hb_sites for t in tiers)),
+            f"{overall * 100:.1f}%")],
+        title="HB adoption by rank tier",
+    )
+    return {"tiers": tiers, "overall": overall, "text": text}
+
+
+@register_metric(
+    "fig04",
+    title="Figure 4 — HB adoption by year",
+    ref="Figure 4 / §3.2",
+    requires=("historical",),
+    render={"kind": "table"},
+)
+def adoption_history_result(context: AnalysisContext) -> dict:
+    """Figure 4: HB adoption per year on the yearly top-1k lists."""
+    rows = historical_adoption_rows(context.historical)
+    text = format_table(
+        ["year", "sites", "detected HB", "adoption", "precision", "recall"],
+        [
+            (int(row["year"]), int(row["sites"]), int(row["detected_hb"]),
+             f"{row['adoption_rate'] * 100:.1f}%", f"{row['precision'] * 100:.1f}%",
+             f"{row['recall'] * 100:.1f}%")
+            for row in rows
+        ],
+        title="Figure 4 — HB adoption by year (static analysis of archived snapshots)",
+    )
+    return {"rows": rows, "text": text}

@@ -9,12 +9,22 @@ from __future__ import annotations
 from collections import Counter
 from typing import Mapping
 
+from repro.analysis.context import AnalysisContext
 from repro.analysis.dataset import CrawlDataset
+from repro.analysis.registry import register_metric
+from repro.analysis.reporting import format_ecdf, format_share_rows, format_whisker_rows
 from repro.analysis.stats import Ecdf, WhiskerStats, ecdf, whisker_stats
 from repro.errors import EmptyDatasetError
 from repro.models import HBFacet
 
-__all__ = ["adslots_per_site_ecdf", "latency_by_adslot_count", "adslot_size_shares"]
+__all__ = [
+    "adslots_per_site_ecdf",
+    "latency_by_adslot_count",
+    "adslot_size_shares",
+    "adslots_ecdf_result",
+    "latency_vs_adslots_result",
+    "adslot_sizes_result",
+]
 
 
 def adslots_per_site_ecdf(dataset: CrawlDataset) -> dict[HBFacet, Ecdf]:
@@ -71,3 +81,55 @@ def adslot_size_shares(dataset: CrawlDataset, *, top_n: int = 10) -> dict[HBFace
             continue
         result[facet] = [(size, count / total) for size, count in counter.most_common(top_n)]
     return result
+
+
+# -- registered metrics ------------------------------------------------------------
+
+
+@register_metric(
+    "fig19",
+    title="Figure 19 — Auctioned ad-slots per website",
+    ref="Figure 19 / §5.3",
+    render={"kind": "ecdf", "unit": "slots", "grouped_by": "facet"},
+)
+def adslots_ecdf_result(context: AnalysisContext) -> dict:
+    """Figure 19: auctioned ad-slots per website, per facet."""
+    curves = adslots_per_site_ecdf(context.dataset)
+    blocks = [
+        format_ecdf(curve, unit="slots", title=f"Figure 19 — Auctioned ad-slots ({facet.value})")
+        for facet, curve in curves.items()
+    ]
+    medians = {facet: curve.median for facet, curve in curves.items()}
+    return {"ecdfs": curves, "medians": medians, "text": "\n\n".join(blocks)}
+
+
+@register_metric(
+    "fig20",
+    title="Figure 20 — HB latency vs. auctioned ad-slots",
+    ref="Figure 20 / §5.3",
+    render={"kind": "whiskers", "unit": "ms"},
+)
+def latency_vs_adslots_result(context: AnalysisContext) -> dict:
+    """Figure 20: HB latency as a function of the number of auctioned slots."""
+    rows = latency_by_adslot_count(context.dataset)
+    text = format_whisker_rows(rows, label_header="#auctioned slots", unit="ms",
+                               title="Figure 20 — HB latency vs. auctioned ad-slots")
+    return {"rows": rows, "text": text}
+
+
+@register_metric(
+    "fig21",
+    title="Figure 21 — Most popular creative sizes per facet",
+    ref="Figure 21 / §5.3",
+    render={"kind": "share-rows", "grouped_by": "facet"},
+    top_n=10,
+)
+def adslot_sizes_result(context: AnalysisContext, *, top_n: int) -> dict:
+    """Figure 21: most popular creative sizes per facet."""
+    shares = adslot_size_shares(context.dataset, top_n=top_n)
+    blocks = [
+        format_share_rows(rows, label_header=f"{facet.value} size")
+        for facet, rows in shares.items()
+        if rows
+    ]
+    return {"shares": shares, "text": "\n\n".join(blocks)}

@@ -16,7 +16,10 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.analysis.context import AnalysisContext
 from repro.analysis.dataset import CrawlDataset
+from repro.analysis.registry import register_metric
+from repro.analysis.reporting import format_table
 from repro.analysis.stats import WhiskerStats, percentile, whisker_stats
 from repro.ecosystem.publishers import Publisher
 from repro.errors import EmptyDatasetError
@@ -24,7 +27,14 @@ from repro.hb.environment import AuctionEnvironment
 from repro.hb.waterfall import build_waterfall_chain, run_waterfall
 from repro.utils.rng import derive_rng
 
-__all__ = ["LatencyComparison", "PriceComparison", "hb_vs_waterfall_latency", "hb_vs_waterfall_prices"]
+__all__ = [
+    "LatencyComparison",
+    "PriceComparison",
+    "hb_vs_waterfall_latency",
+    "hb_vs_waterfall_prices",
+    "waterfall_latency_result",
+    "waterfall_price_result",
+]
 
 
 @dataclass(frozen=True)
@@ -148,3 +158,60 @@ def hb_vs_waterfall_prices(
         waterfall_real_user=whisker_stats(real_user_prices),
         waterfall_vanilla=whisker_stats(vanilla_prices),
     )
+
+
+# -- registered metrics ------------------------------------------------------------
+
+
+@register_metric(
+    "waterfall",
+    title="HB vs. waterfall latency",
+    ref="§1 / §7.2",
+    # config is required because the baseline is re-simulated with the run's
+    # seed; without it the fallback seed would silently change the numbers.
+    requires=("dataset", "population", "environment", "config"),
+    render={"kind": "table"},
+)
+def waterfall_latency_result(context: AnalysisContext) -> dict:
+    """§1 / §7.2: HB latency versus the waterfall baseline."""
+    result = hb_vs_waterfall_latency(
+        context.dataset, list(context.population), context.environment,
+        seed=context.seed,
+    )
+    text = format_table(
+        ["protocol", "median (ms)", "p95 (ms)"],
+        [
+            ("header bidding", round(result.hb.median, 1), round(result.hb.p95, 1)),
+            ("waterfall", round(result.waterfall.median, 1), round(result.waterfall.p95, 1)),
+            ("HB / waterfall ratio", round(result.median_ratio, 2), round(result.p90_ratio, 2)),
+        ],
+        title="HB vs. waterfall latency",
+    )
+    return {"comparison": result, "text": text}
+
+
+@register_metric(
+    "prices",
+    title="HB vs. waterfall prices",
+    ref="§5.4",
+    requires=("dataset", "population", "environment", "config"),
+    render={"kind": "table"},
+)
+def waterfall_price_result(context: AnalysisContext) -> dict:
+    """§5.4: HB baseline prices versus waterfall RTB prices."""
+    result = hb_vs_waterfall_prices(
+        context.dataset, list(context.population), context.environment,
+        seed=context.seed,
+    )
+    text = format_table(
+        ["channel", "median CPM", "p75 CPM"],
+        [
+            ("HB (vanilla profile)", round(result.hb.median, 4), round(result.hb.p75, 4)),
+            ("waterfall RTB (real users)", round(result.waterfall_real_user.median, 4),
+             round(result.waterfall_real_user.p75, 4)),
+            ("waterfall RTB (vanilla)", round(result.waterfall_vanilla.median, 4),
+             round(result.waterfall_vanilla.p75, 4)),
+        ],
+        title="HB vs. waterfall prices",
+    )
+    return {"comparison": result, "text": text}

@@ -1,0 +1,81 @@
+"""The analysis context a metric computes against.
+
+A :class:`AnalysisContext` bundles everything a metric may consume: the crawl
+dataset itself plus the optional simulation-side objects (publisher
+population, auction environment, experiment configuration, historical
+adoption study).  Metrics declare which pieces they require; an offline
+context built from a saved crawl provides only the dataset, so
+simulation-dependent metrics (detector accuracy, the waterfall baselines)
+are reported as unavailable instead of silently recomputed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.dataset import CrawlDataset
+
+__all__ = ["AnalysisContext", "CONTEXT_FIELDS"]
+
+#: Every context piece a metric can declare in its ``requires`` tuple.
+CONTEXT_FIELDS: tuple[str, ...] = ("dataset", "population", "environment", "config", "historical")
+
+
+@dataclass
+class AnalysisContext:
+    """What one metric computation can see."""
+
+    dataset: "CrawlDataset | None" = None
+    population: Any = None
+    environment: Any = None
+    config: Any = None
+    historical: Any = None
+
+    # -- construction ----------------------------------------------------------
+    @classmethod
+    def from_artifacts(cls, artifacts: Any, *, historical: Any = None) -> "AnalysisContext":
+        """The full context of an in-memory experiment run."""
+        return cls(
+            dataset=artifacts.dataset,
+            population=artifacts.population,
+            environment=artifacts.environment,
+            config=artifacts.config,
+            historical=historical,
+        )
+
+    @classmethod
+    def offline(cls, dataset: "CrawlDataset") -> "AnalysisContext":
+        """A dataset-only context, e.g. over a crawl loaded from disk."""
+        return cls(dataset=dataset)
+
+    # -- capability queries -----------------------------------------------------
+    def has(self, name: str) -> bool:
+        return getattr(self, name, None) is not None
+
+    def provides(self) -> frozenset[str]:
+        """The context pieces available to metrics."""
+        return frozenset(name for name in CONTEXT_FIELDS if self.has(name))
+
+    # -- derived defaults -------------------------------------------------------
+    @property
+    def total_sites(self) -> int:
+        """The crawled population size.
+
+        Taken from the experiment configuration when present; offline it is
+        recovered from the dataset itself (the discovery pass visits every
+        site once, so distinct domains == sites crawled), which keeps
+        population-scaled defaults like the Figure-13 bin width identical
+        between the in-memory and the offline path.
+        """
+        if self.config is not None:
+            return int(self.config.total_sites)
+        if self.dataset is not None:
+            return len(self.dataset.sites())
+        return 0
+
+    @property
+    def seed(self) -> int:
+        """The experiment seed (paper default when no configuration is given)."""
+        return int(self.config.seed) if self.config is not None else 2019

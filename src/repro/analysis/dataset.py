@@ -5,12 +5,21 @@ A :class:`CrawlDataset` wraps the detections a crawl produced (one
 the slicing the figure computations need: HB sites only, one record per site,
 all auctions, all bids, grouping by facet / partner / rank, and the Table-1
 style summary counters.
+
+Every view is an *index*: it is built lazily on first access, cached, and
+invalidated when the dataset grows through :meth:`CrawlDataset.extend`.  The
+full all-figures analysis path therefore scans the detections a handful of
+times in total instead of once per metric.  Callers must treat returned
+lists and dicts as read-only; mutating them corrupts the cache.  If you
+append to :attr:`CrawlDataset.detections` directly instead of calling
+:meth:`extend`, call :meth:`invalidate_indices` afterwards.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Mapping, Sequence
+from pathlib import Path
+from typing import Any, Callable, Hashable, Iterable, Iterator
 
 from repro.detector.records import ObservedAuction, ObservedBid, SiteDetection
 from repro.errors import EmptyDatasetError
@@ -26,14 +35,51 @@ class CrawlDataset:
     detections: list[SiteDetection] = field(default_factory=list)
     #: Number of distinct crawl days represented (Table 1 reports 5 weeks).
     label: str = "crawl"
+    #: Lazily-built view cache; never compared or serialised.
+    _indices: dict[Hashable, Any] = field(default_factory=dict, init=False, repr=False, compare=False)
+    #: How many index builds have happened (cache misses); for benchmarks.
+    _index_builds: int = field(default=0, init=False, repr=False, compare=False)
 
     # -- construction ----------------------------------------------------------
     @classmethod
     def from_detections(cls, detections: Iterable[SiteDetection], *, label: str = "crawl") -> "CrawlDataset":
         return cls(detections=list(detections), label=label)
 
+    @classmethod
+    def from_jsonl(cls, path: str | Path, *, label: str | None = None) -> "CrawlDataset":
+        """Load a dataset from a JSON-Lines file written by ``--save``.
+
+        The file format is the one :class:`~repro.crawler.storage.DetectionSink`
+        streams during a crawl (and :meth:`~repro.crawler.storage.CrawlStorage.save`
+        writes in one go), so a crawl saved once can be re-analysed any number
+        of times without re-simulating the Web.
+        """
+        from repro.crawler.storage import CrawlStorage
+
+        storage = CrawlStorage(path)
+        return cls.from_detections(storage.iter_load(), label=label or Path(path).stem)
+
     def extend(self, detections: Iterable[SiteDetection]) -> None:
         self.detections.extend(detections)
+        self.invalidate_indices()
+
+    # -- index cache -------------------------------------------------------------
+    def _index(self, key: Hashable, build: Callable[[], Any]) -> Any:
+        try:
+            return self._indices[key]
+        except KeyError:
+            value = build()
+            self._indices[key] = value
+            self._index_builds += 1
+            return value
+
+    def invalidate_indices(self) -> None:
+        """Drop every cached view (call after mutating :attr:`detections`)."""
+        self._indices.clear()
+
+    def index_stats(self) -> dict[str, int]:
+        """Cache introspection: currently cached views and lifetime builds."""
+        return {"cached": len(self._indices), "builds": self._index_builds}
 
     # -- basic protocol ----------------------------------------------------------
     def __len__(self) -> int:
@@ -49,7 +95,7 @@ class CrawlDataset:
     # -- views -------------------------------------------------------------------
     def hb_detections(self) -> list[SiteDetection]:
         """Every page visit on which HB was detected."""
-        return [d for d in self.detections if d.hb_detected]
+        return self._index("hb_detections", lambda: [d for d in self.detections if d.hb_detected])
 
     def sites(self) -> list[SiteDetection]:
         """One record per distinct domain (the first visit wins).
@@ -57,102 +103,175 @@ class CrawlDataset:
         Per-site figures (partners per site, facet breakdown, adoption) must
         not double-count sites that were re-crawled daily.
         """
-        seen: dict[str, SiteDetection] = {}
-        for detection in self.detections:
-            seen.setdefault(detection.domain, detection)
-        return list(seen.values())
+
+        def build() -> list[SiteDetection]:
+            seen: dict[str, SiteDetection] = {}
+            for detection in self.detections:
+                seen.setdefault(detection.domain, detection)
+            return list(seen.values())
+
+        return self._index("sites", build)
 
     def hb_sites(self) -> list[SiteDetection]:
         """One record per distinct domain on which HB was ever detected."""
-        seen: dict[str, SiteDetection] = {}
-        for detection in self.detections:
-            if detection.hb_detected:
-                seen.setdefault(detection.domain, detection)
-        return list(seen.values())
+
+        def build() -> list[SiteDetection]:
+            seen: dict[str, SiteDetection] = {}
+            for detection in self.detections:
+                if detection.hb_detected:
+                    seen.setdefault(detection.domain, detection)
+            return list(seen.values())
+
+        return self._index("hb_sites", build)
 
     def auctions(self) -> list[ObservedAuction]:
         """Every auction observed across all visits."""
-        return [auction for detection in self.hb_detections() for auction in detection.auctions]
+        return self._index(
+            "auctions",
+            lambda: [auction for detection in self.hb_detections() for auction in detection.auctions],
+        )
 
     def bids(self) -> list[ObservedBid]:
         """Every bid observed across all visits."""
-        return [bid for auction in self.auctions() for bid in auction.bids]
+        return self._index("bids", lambda: [bid for auction in self.auctions() for bid in auction.bids])
 
     def priced_bids(self) -> list[ObservedBid]:
-        return [bid for bid in self.bids() if bid.cpm is not None]
+        return self._index("priced_bids", lambda: [bid for bid in self.bids() if bid.cpm is not None])
 
     # -- groupers -----------------------------------------------------------------
     def by_facet(self) -> dict[HBFacet, list[SiteDetection]]:
-        grouped: dict[HBFacet, list[SiteDetection]] = {facet: [] for facet in HBFacet}
-        for detection in self.hb_sites():
-            assert detection.facet is not None
-            grouped[detection.facet].append(detection)
-        return grouped
+        def build() -> dict[HBFacet, list[SiteDetection]]:
+            grouped: dict[HBFacet, list[SiteDetection]] = {facet: [] for facet in HBFacet}
+            for detection in self.hb_sites():
+                assert detection.facet is not None
+                grouped[detection.facet].append(detection)
+            return grouped
+
+        return self._index("by_facet", build)
 
     def auctions_by_facet(self) -> dict[HBFacet, list[ObservedAuction]]:
-        grouped: dict[HBFacet, list[ObservedAuction]] = {facet: [] for facet in HBFacet}
-        for auction in self.auctions():
-            grouped[auction.facet].append(auction)
-        return grouped
+        def build() -> dict[HBFacet, list[ObservedAuction]]:
+            grouped: dict[HBFacet, list[ObservedAuction]] = {facet: [] for facet in HBFacet}
+            for auction in self.auctions():
+                grouped[auction.facet].append(auction)
+            return grouped
+
+        return self._index("auctions_by_facet", build)
 
     def bids_by_partner(self) -> dict[str, list[ObservedBid]]:
-        grouped: dict[str, list[ObservedBid]] = {}
-        for bid in self.bids():
-            grouped.setdefault(bid.partner, []).append(bid)
-        return grouped
+        def build() -> dict[str, list[ObservedBid]]:
+            grouped: dict[str, list[ObservedBid]] = {}
+            for bid in self.bids():
+                grouped.setdefault(bid.partner, []).append(bid)
+            return grouped
+
+        return self._index("bids_by_partner", build)
 
     def partner_site_counts(self) -> dict[str, int]:
         """For each partner, on how many distinct HB sites it appears."""
-        counts: dict[str, int] = {}
-        for detection in self.hb_sites():
-            for partner in detection.partners:
-                counts[partner] = counts.get(partner, 0) + 1
-        return counts
+
+        def build() -> dict[str, int]:
+            counts: dict[str, int] = {}
+            for detection in self.hb_sites():
+                for partner in detection.partners:
+                    counts[partner] = counts.get(partner, 0) + 1
+            return counts
+
+        return self._index("partner_site_counts", build)
 
     def partner_popularity_ranking(self) -> list[str]:
         """Partners ordered from most to least popular (by site count)."""
-        counts = self.partner_site_counts()
-        return [name for name, _ in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))]
+
+        def build() -> list[str]:
+            counts = self.partner_site_counts()
+            return [name for name, _ in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))]
+
+        return self._index("partner_popularity_ranking", build)
 
     def partner_latency_samples(self) -> dict[str, list[float]]:
         """Per-partner round-trip latency samples across all visits."""
-        samples: dict[str, list[float]] = {}
-        for detection in self.hb_detections():
-            for partner, latency in detection.partner_latencies_ms.items():
-                samples.setdefault(partner, []).append(float(latency))
-        return samples
+
+        def build() -> dict[str, list[float]]:
+            samples: dict[str, list[float]] = {}
+            for detection in self.hb_detections():
+                for partner, latency in detection.partner_latencies_ms.items():
+                    samples.setdefault(partner, []).append(float(latency))
+            return samples
+
+        return self._index("partner_latency_samples", build)
 
     def site_latencies(self) -> dict[str, list[float]]:
         """Per-domain total HB latency samples across all visits."""
-        samples: dict[str, list[float]] = {}
-        for detection in self.hb_detections():
-            if detection.total_latency_ms is not None:
-                samples.setdefault(detection.domain, []).append(detection.total_latency_ms)
-        return samples
+
+        def build() -> dict[str, list[float]]:
+            samples: dict[str, list[float]] = {}
+            for detection in self.hb_detections():
+                if detection.total_latency_ms is not None:
+                    samples.setdefault(detection.domain, []).append(detection.total_latency_ms)
+            return samples
+
+        return self._index("site_latencies", build)
+
+    def hb_latency_values(self) -> list[float]:
+        """Every positive page-level HB latency observation, in crawl order."""
+        return self._index(
+            "hb_latency_values",
+            lambda: [
+                detection.total_latency_ms
+                for detection in self.hb_detections()
+                if detection.total_latency_ms is not None and detection.total_latency_ms > 0
+            ],
+        )
+
+    def hb_latencies_by_rank_bin(self, bin_size: int) -> dict[int, list[float]]:
+        """Positive HB latency observations grouped into rank bins of ``bin_size``."""
+        if bin_size < 1:
+            raise ValueError("bin size must be positive")
+
+        def build() -> dict[int, list[float]]:
+            grouped: dict[int, list[float]] = {}
+            for detection in self.hb_detections():
+                if detection.total_latency_ms is None or detection.total_latency_ms <= 0:
+                    continue
+                grouped.setdefault((detection.rank - 1) // bin_size, []).append(detection.total_latency_ms)
+            return grouped
+
+        return self._index(("hb_latencies_by_rank_bin", bin_size), build)
 
     def crawl_days(self) -> tuple[int, ...]:
-        return tuple(sorted({detection.crawl_day for detection in self.detections}))
+        return self._index(
+            "crawl_days",
+            lambda: tuple(sorted({detection.crawl_day for detection in self.detections})),
+        )
 
     # -- summary -------------------------------------------------------------------
     def summary(self) -> dict[str, int | float]:
-        """The Table-1 style crawl summary."""
+        """The Table-1 style crawl summary.
+
+        Returns a fresh dict per call (the legacy contract); only the
+        computation is cached.
+        """
         self._require_non_empty()
-        sites = self.sites()
-        hb_sites = self.hb_sites()
-        all_bids = self.bids()
-        partners = {partner for detection in hb_sites for partner in detection.partners}
-        days = self.crawl_days()
-        return {
-            "websites_crawled": len(sites),
-            "websites_with_hb": len(hb_sites),
-            "adoption_rate": len(hb_sites) / len(sites) if sites else 0.0,
-            "auctions_detected": len(self.auctions()),
-            "bids_detected": len(all_bids),
-            "competing_demand_partners": len(partners),
-            "crawl_days": len(days),
-            "crawl_weeks": max(1, round(len(days) / 7)) if days else 0,
-            "page_visits": len(self.detections),
-        }
+
+        def build() -> dict[str, int | float]:
+            sites = self.sites()
+            hb_sites = self.hb_sites()
+            all_bids = self.bids()
+            partners = {partner for detection in hb_sites for partner in detection.partners}
+            days = self.crawl_days()
+            return {
+                "websites_crawled": len(sites),
+                "websites_with_hb": len(hb_sites),
+                "adoption_rate": len(hb_sites) / len(sites) if sites else 0.0,
+                "auctions_detected": len(self.auctions()),
+                "bids_detected": len(all_bids),
+                "competing_demand_partners": len(partners),
+                "crawl_days": len(days),
+                "crawl_weeks": max(1, round(len(days) / 7)) if days else 0,
+                "page_visits": len(self.detections),
+            }
+
+        return dict(self._index("summary", build))
 
     def filter(self, predicate: Callable[[SiteDetection], bool], *, label: str | None = None) -> "CrawlDataset":
         """A new dataset restricted to detections matching ``predicate``."""

@@ -8,11 +8,14 @@ partner (usually DFP) run the auction.
 
 from __future__ import annotations
 
+from repro.analysis.context import AnalysisContext
 from repro.analysis.dataset import CrawlDataset
+from repro.analysis.registry import register_metric
+from repro.analysis.reporting import format_share_rows
 from repro.errors import EmptyDatasetError
 from repro.models import HBFacet
 
-__all__ = ["facet_breakdown", "facet_counts"]
+__all__ = ["facet_breakdown", "facet_counts", "facet_breakdown_result"]
 
 
 def facet_counts(dataset: CrawlDataset) -> dict[HBFacet, int]:
@@ -28,3 +31,20 @@ def facet_breakdown(dataset: CrawlDataset) -> dict[HBFacet, float]:
     if total == 0:
         raise EmptyDatasetError("no HB sites in the dataset")
     return {facet: count / total for facet, count in counts.items()}
+
+
+@register_metric(
+    "facet",
+    title="Facet breakdown (share of HB sites)",
+    ref="§4.6",
+    render={"kind": "share-rows"},
+)
+def facet_breakdown_result(context: AnalysisContext) -> dict:
+    """§4.6: share of HB sites per facet."""
+    breakdown = facet_breakdown(context.dataset)
+    text = format_share_rows(
+        [(facet.value, share) for facet, share in breakdown.items()],
+        label_header="HB facet",
+        title="Facet breakdown (share of HB sites)",
+    )
+    return {"breakdown": breakdown, "text": text}

@@ -11,11 +11,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.analysis.context import AnalysisContext
 from repro.analysis.dataset import CrawlDataset
+from repro.analysis.registry import register_metric
+from repro.analysis.reporting import format_ecdf, format_table
 from repro.analysis.stats import Ecdf, ecdf
 from repro.errors import EmptyDatasetError
 
-__all__ = ["PartnerLateness", "late_bid_ecdf", "late_bids_per_partner", "late_bid_share_distribution"]
+__all__ = [
+    "PartnerLateness",
+    "late_bid_ecdf",
+    "late_bids_per_partner",
+    "late_bid_share_distribution",
+    "late_bids_ecdf_result",
+    "late_bids_per_partner_result",
+]
 
 
 def late_bid_ecdf(dataset: CrawlDataset, *, only_auctions_with_late_bids: bool = True) -> Ecdf:
@@ -91,3 +101,40 @@ def late_bid_share_distribution(dataset: CrawlDataset) -> dict[str, float]:
                 1 for count in late_counts if count >= threshold
             ) / len(late_counts)
     return summary
+
+
+# -- registered metrics ------------------------------------------------------------
+
+
+@register_metric(
+    "fig17",
+    title="Figure 17 — Late bids per auction",
+    ref="Figure 17 / §5.2",
+    render={"kind": "ecdf", "unit": "% late"},
+)
+def late_bids_ecdf_result(context: AnalysisContext) -> dict:
+    """Figure 17: ECDF of the share of late bids per auction."""
+    curve = late_bid_ecdf(context.dataset)
+    summary = late_bid_share_distribution(context.dataset)
+    text = format_ecdf(curve, unit="% late",
+                       title="Figure 17 — Late bids per auction (ECDF, % of bids)")
+    return {"ecdf": curve, "median_late_share": curve.median, "summary": summary, "text": text}
+
+
+@register_metric(
+    "fig18",
+    title="Figure 18 — Late bids per demand partner",
+    ref="Figure 18 / §5.2",
+    render={"kind": "table"},
+    top_n=25,
+)
+def late_bids_per_partner_result(context: AnalysisContext, *, top_n: int) -> dict:
+    """Figure 18: share of late bids per demand partner."""
+    rows = late_bids_per_partner(context.dataset)
+    partners_half_late = sum(1 for row in rows if row.late_share >= 0.5)
+    text = format_table(
+        ["partner", "bids", "late bids", "late share"],
+        [(row.partner, row.bids, row.late_bids, f"{row.late_share * 100:.1f}%") for row in rows[:top_n]],
+        title="Figure 18 — Late bids per demand partner",
+    )
+    return {"rows": rows, "partners_half_late": partners_half_late, "text": text}

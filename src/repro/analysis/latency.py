@@ -11,7 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro.analysis.context import AnalysisContext
 from repro.analysis.dataset import CrawlDataset
+from repro.analysis.registry import register_metric
+from repro.analysis.reporting import format_ecdf, format_table, format_whisker_rows
 from repro.analysis.stats import Ecdf, WhiskerStats, ecdf, whisker_stats
 from repro.errors import EmptyDatasetError
 
@@ -24,15 +27,16 @@ __all__ = [
     "slowest_partners",
     "latency_by_partner_count",
     "latency_by_popularity_rank",
+    "latency_ecdf_result",
+    "latency_vs_rank_result",
+    "partner_latency_result",
+    "latency_vs_partner_count_result",
+    "latency_vs_popularity_result",
 ]
 
 
 def _site_latency_values(dataset: CrawlDataset) -> list[float]:
-    values = [
-        detection.total_latency_ms
-        for detection in dataset.hb_detections()
-        if detection.total_latency_ms is not None and detection.total_latency_ms > 0
-    ]
+    values = dataset.hb_latency_values()
     if not values:
         raise EmptyDatasetError("no HB latency observations in the dataset")
     return values
@@ -50,12 +54,7 @@ def latency_by_rank_bin(dataset: CrawlDataset, *, bin_size: int = 500) -> list[t
     """
     if bin_size < 1:
         raise ValueError("bin size must be positive")
-    grouped: dict[int, list[float]] = {}
-    for detection in dataset.hb_detections():
-        if detection.total_latency_ms is None or detection.total_latency_ms <= 0:
-            continue
-        bin_index = (detection.rank - 1) // bin_size
-        grouped.setdefault(bin_index, []).append(detection.total_latency_ms)
+    grouped = dataset.hb_latencies_by_rank_bin(bin_size)
     if not grouped:
         raise EmptyDatasetError("no HB latency observations in the dataset")
     rows = []
@@ -166,3 +165,105 @@ def latency_by_popularity_rank(dataset: CrawlDataset, *, bin_size: int = 10) -> 
         high = (bin_index + 1) * bin_size
         rows.append((f"{low}-{high}", whisker_stats(grouped[bin_index])))
     return rows
+
+
+# -- registered metrics ------------------------------------------------------------
+
+
+@register_metric(
+    "fig12",
+    title="Figure 12 — Total HB latency",
+    ref="Figure 12 / §5.2",
+    render={"kind": "ecdf", "unit": "ms"},
+)
+def latency_ecdf_result(context: AnalysisContext) -> dict:
+    """Figure 12: ECDF of total HB latency per page visit."""
+    curve = total_latency_ecdf(context.dataset)
+    text = format_ecdf(curve, unit="ms", title="Figure 12 — Total HB latency (ECDF)")
+    return {
+        "ecdf": curve,
+        "median_ms": curve.median,
+        "share_above_1s": curve.fraction_above(1_000.0),
+        "share_above_3s": curve.fraction_above(3_000.0),
+        "text": text,
+    }
+
+
+@register_metric(
+    "fig13",
+    title="Figure 13 — HB latency vs. site rank",
+    ref="Figure 13 / §5.2",
+    render={"kind": "whiskers", "unit": "ms"},
+    bin_size=None,
+)
+def latency_vs_rank_result(context: AnalysisContext, *, bin_size: int | None) -> dict:
+    """Figure 13: HB latency versus site popularity rank."""
+    if bin_size is None:
+        # The paper bins 5k HB sites out of 35k into bins of 500; scale the bin
+        # width with the simulated population so each bin keeps enough sites.
+        bin_size = max(50, context.total_sites // 70)
+    rows = latency_by_rank_bin(context.dataset, bin_size=bin_size)
+    text = format_whisker_rows(rows, label_header="rank bin", unit="ms",
+                               title="Figure 13 — HB latency vs. site rank")
+    return {"rows": rows, "bin_size": bin_size, "text": text}
+
+
+@register_metric(
+    "fig14",
+    title="Figure 14 — Partner latency profiles",
+    ref="Figure 14 / §5.2",
+    render={"kind": "whiskers", "unit": "ms"},
+    top_n=10,
+)
+def partner_latency_result(context: AnalysisContext, *, top_n: int) -> dict:
+    """Figure 14: fastest, top-market-share and slowest partners by latency."""
+    fastest = fastest_partners(context.dataset, top_n=top_n)
+    slowest = slowest_partners(context.dataset, top_n=top_n)
+    profiles = partner_latency_profiles(context.dataset)
+    top_market = profiles[:top_n]
+    text = "\n\n".join(
+        [
+            format_whisker_rows([(p.partner, p.stats) for p in fastest],
+                                label_header="fastest partner", unit="ms"),
+            format_whisker_rows([(p.partner, p.stats) for p in top_market],
+                                label_header="top market-share partner", unit="ms"),
+            format_whisker_rows([(p.partner, p.stats) for p in slowest],
+                                label_header="slowest partner", unit="ms"),
+        ]
+    )
+    return {"fastest": fastest, "top_market": top_market, "slowest": slowest, "text": text}
+
+
+@register_metric(
+    "fig15",
+    title="Figure 15 — HB latency vs. number of demand partners",
+    ref="Figure 15 / §5.2",
+    render={"kind": "table"},
+)
+def latency_vs_partner_count_result(context: AnalysisContext) -> dict:
+    """Figure 15: HB latency and share of sites vs. number of partners."""
+    rows = latency_by_partner_count(context.dataset)
+    text = format_table(
+        ["#partners", "median (ms)", "p95 (ms)", "share of sites"],
+        [
+            (count, round(stats.median, 1), round(stats.p95, 1), f"{share * 100:.1f}%")
+            for count, stats, share in rows
+        ],
+        title="Figure 15 — HB latency vs. number of demand partners",
+    )
+    return {"rows": rows, "text": text}
+
+
+@register_metric(
+    "fig16",
+    title="Figure 16 — Partner latency vs. popularity rank",
+    ref="Figure 16 / §5.2",
+    render={"kind": "whiskers", "unit": "ms"},
+    bin_size=10,
+)
+def latency_vs_popularity_result(context: AnalysisContext, *, bin_size: int) -> dict:
+    """Figure 16: partner latency variability vs. popularity rank."""
+    rows = latency_by_popularity_rank(context.dataset, bin_size=bin_size)
+    text = format_whisker_rows(rows, label_header="popularity rank bin", unit="ms",
+                               title="Figure 16 — Partner latency vs. popularity rank")
+    return {"rows": rows, "text": text}

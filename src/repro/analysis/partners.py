@@ -12,7 +12,10 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro.analysis.context import AnalysisContext
 from repro.analysis.dataset import CrawlDataset
+from repro.analysis.registry import register_metric
+from repro.analysis.reporting import format_ecdf, format_share_rows
 from repro.analysis.stats import Ecdf, ecdf
 from repro.errors import EmptyDatasetError
 from repro.models import HBFacet
@@ -23,6 +26,10 @@ __all__ = [
     "partners_per_site_ecdf",
     "partner_combinations",
     "partners_per_facet",
+    "top_partners_result",
+    "partners_per_site_result",
+    "partner_combinations_result",
+    "partners_per_facet_result",
 ]
 
 
@@ -98,3 +105,83 @@ def partners_per_facet(
             (partner, count / total) for partner, count in counter.most_common(top_n)
         ]
     return result
+
+
+# -- registered metrics ------------------------------------------------------------
+
+
+@register_metric(
+    "fig08",
+    title="Figure 8 — Top demand partners",
+    ref="Figure 8 / §5.1",
+    render={"kind": "share-rows"},
+    top_n=11,
+)
+def top_partners_result(context: AnalysisContext, *, top_n: int) -> dict:
+    """Figure 8: top demand partners by share of HB websites."""
+    rows = partner_popularity(context.dataset, top_n=top_n)
+    text = format_share_rows(
+        [(row.partner, row.share_of_hb_sites) for row in rows],
+        label_header="demand partner",
+        title="Figure 8 — Top demand partners (share of HB websites)",
+    )
+    return {"rows": rows, "text": text}
+
+
+@register_metric(
+    "fig09",
+    title="Figure 9 — Demand partners per HB website",
+    ref="Figure 9 / §5.1",
+    render={"kind": "ecdf", "unit": "partners"},
+)
+def partners_per_site_result(context: AnalysisContext) -> dict:
+    """Figure 9: ECDF of demand partners per HB website."""
+    curve = partners_per_site_ecdf(context.dataset)
+    share_one = curve.fraction_at_most(1.0)
+    share_five_plus = curve.fraction_above(4.0)
+    share_ten_plus = curve.fraction_above(9.0)
+    text = format_ecdf(curve, unit="partners",
+                       title="Figure 9 — Demand partners per HB website (ECDF)")
+    return {
+        "ecdf": curve,
+        "share_one_partner": share_one,
+        "share_five_or_more": share_five_plus,
+        "share_ten_or_more": share_ten_plus,
+        "text": text,
+    }
+
+
+@register_metric(
+    "fig10",
+    title="Figure 10 — Most frequent partner combinations",
+    ref="Figure 10 / §5.1",
+    render={"kind": "share-rows"},
+    top_n=15,
+)
+def partner_combinations_result(context: AnalysisContext, *, top_n: int) -> dict:
+    """Figure 10: most frequent demand-partner combinations."""
+    rows = partner_combinations(context.dataset, top_n=top_n)
+    text = format_share_rows(
+        [(" + ".join(combo), share) for combo, share in rows],
+        label_header="combination",
+        title="Figure 10 — Most frequent partner combinations",
+    )
+    return {"rows": rows, "text": text}
+
+
+@register_metric(
+    "fig11",
+    title="Figure 11 — Top partners per HB facet",
+    ref="Figure 11 / §5.1",
+    render={"kind": "share-rows", "grouped_by": "facet"},
+    top_n=10,
+)
+def partners_per_facet_result(context: AnalysisContext, *, top_n: int) -> dict:
+    """Figure 11: top partners per HB facet by share of bids."""
+    per_facet = partners_per_facet(context.dataset, top_n=top_n)
+    blocks = []
+    for facet in HBFacet:
+        rows = per_facet.get(facet, [])
+        if rows:
+            blocks.append(format_share_rows(rows, label_header=f"{facet.value} partner"))
+    return {"per_facet": per_facet, "text": "\n\n".join(blocks)}

@@ -11,12 +11,22 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Mapping
 
+from repro.analysis.context import AnalysisContext
 from repro.analysis.dataset import CrawlDataset
+from repro.analysis.registry import register_metric
+from repro.analysis.reporting import format_ecdf, format_whisker_rows
 from repro.analysis.stats import Ecdf, WhiskerStats, ecdf, whisker_stats
 from repro.errors import EmptyDatasetError
 from repro.models import HBFacet, parse_size
 
-__all__ = ["price_ecdf_by_facet", "price_by_size", "price_by_popularity_rank"]
+__all__ = [
+    "price_ecdf_by_facet",
+    "price_by_size",
+    "price_by_popularity_rank",
+    "price_cdf_result",
+    "price_per_size_result",
+    "price_vs_popularity_result",
+]
 
 
 def price_ecdf_by_facet(dataset: CrawlDataset, *, max_cpm: float | None = None) -> dict[HBFacet, Ecdf]:
@@ -84,3 +94,52 @@ def price_by_popularity_rank(dataset: CrawlDataset, *, bin_size: int = 10) -> li
         high = (bin_index + 1) * bin_size
         rows.append((f"{low}-{high}", whisker_stats(grouped[bin_index])))
     return rows
+
+
+# -- registered metrics ------------------------------------------------------------
+
+
+@register_metric(
+    "fig22",
+    title="Figure 22 — Bid prices per facet",
+    ref="Figure 22 / §5.4",
+    render={"kind": "ecdf", "unit": "CPM", "grouped_by": "facet"},
+)
+def price_cdf_result(context: AnalysisContext) -> dict:
+    """Figure 22: CDF of bid prices per facet."""
+    curves = price_ecdf_by_facet(context.dataset)
+    blocks = [
+        format_ecdf(curve, unit="CPM", title=f"Figure 22 — Bid prices ({facet.value})")
+        for facet, curve in curves.items()
+    ]
+    medians = {facet: curve.median for facet, curve in curves.items()}
+    return {"ecdfs": curves, "medians": medians, "text": "\n\n".join(blocks)}
+
+
+@register_metric(
+    "fig23",
+    title="Figure 23 — Bid price per ad-slot size",
+    ref="Figure 23 / §5.4",
+    render={"kind": "whiskers", "unit": "CPM"},
+)
+def price_per_size_result(context: AnalysisContext) -> dict:
+    """Figure 23: bid price distribution per creative size."""
+    rows = price_by_size(context.dataset)
+    text = format_whisker_rows(rows, label_header="ad-slot size", unit="CPM",
+                               title="Figure 23 — Bid price per ad-slot size")
+    return {"rows": rows, "text": text}
+
+
+@register_metric(
+    "fig24",
+    title="Figure 24 — Bid price vs. partner popularity",
+    ref="Figure 24 / §5.4",
+    render={"kind": "whiskers", "unit": "CPM"},
+    bin_size=10,
+)
+def price_vs_popularity_result(context: AnalysisContext, *, bin_size: int) -> dict:
+    """Figure 24: bid prices vs. the bidding partner's popularity rank."""
+    rows = price_by_popularity_rank(context.dataset, bin_size=bin_size)
+    text = format_whisker_rows(rows, label_header="popularity rank bin", unit="CPM",
+                               title="Figure 24 — Bid price vs. partner popularity")
+    return {"rows": rows, "text": text}

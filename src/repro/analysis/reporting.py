@@ -7,6 +7,7 @@ side by side without any plotting dependency.
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, Mapping, Sequence
 
 from repro.analysis.stats import Ecdf, WhiskerStats
@@ -34,13 +35,20 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], *, ti
 
 def _cell(value: object) -> str:
     if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
         if value == 0:
+            # Covers -0.0 as well: a sign on an exact zero is noise in a table.
             return "0"
         if abs(value) >= 1000:
             return f"{value:,.0f}"
-        if abs(value) >= 1:
-            return f"{value:.2f}"
-        return f"{value:.4f}"
+        formatted = f"{value:.2f}" if abs(value) >= 1 else f"{value:.4f}"
+        if float(formatted) == 0:
+            # A tiny negative must not round to "-0.0000".
+            formatted = formatted.lstrip("-")
+        return formatted
     return str(value)
 
 

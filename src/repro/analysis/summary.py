@@ -1,0 +1,93 @@
+"""Crawl-summary metrics: Table 1 and the detector-accuracy headline (§4.1).
+
+Table 1 is a pure dataset metric and therefore available offline; detector
+accuracy compares detections against the simulation's ground-truth publisher
+population, so it requires an in-memory experiment run.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.registry import register_metric
+from repro.analysis.reporting import format_summary, format_table
+
+__all__ = ["table1_summary_result", "detector_accuracy_result"]
+
+
+@register_metric(
+    "table1",
+    title="Table 1 — Crawl summary",
+    ref="Table 1",
+    render={"kind": "table"},
+)
+def table1_summary_result(context: AnalysisContext) -> dict:
+    """Table 1: summary of the data collected by the crawl."""
+    summary = context.dataset.summary()
+    rows = [
+        ("# of websites crawled", summary["websites_crawled"]),
+        ("# of websites with HB", summary["websites_with_hb"]),
+        ("# of auctions detected", summary["auctions_detected"]),
+        ("# of bids detected", summary["bids_detected"]),
+        ("# of competing Demand Partners", summary["competing_demand_partners"]),
+        ("# crawl days", summary["crawl_days"]),
+        ("HB adoption rate", f"{summary['adoption_rate'] * 100:.2f}%"),
+    ]
+    text = format_table(["data", "volume"], rows, title="Table 1 — Crawl summary")
+    return {"summary": summary, "text": text}
+
+
+@register_metric(
+    "accuracy",
+    title="HBDetector accuracy vs. ground truth",
+    ref="§4.1",
+    requires=("dataset", "population"),
+    render={"kind": "summary"},
+)
+def detector_accuracy_result(context: AnalysisContext) -> dict:
+    """§4.1: HBDetector precision/recall against the simulation's ground truth.
+
+    The paper argues for 100% precision and high (but not perfect) recall; the
+    reproduction can measure both exactly because it owns the ground truth.
+    """
+    population = context.population
+    truth = {publisher.domain: publisher.uses_hb for publisher in population}
+    facet_truth = {publisher.domain: publisher.facet for publisher in population}
+
+    tp = fp = fn = tn = 0
+    facet_correct = 0
+    facet_total = 0
+    for detection in context.dataset.sites():
+        actual = truth.get(detection.domain, False)
+        if detection.hb_detected and actual:
+            tp += 1
+            facet_total += 1
+            if detection.facet == facet_truth.get(detection.domain):
+                facet_correct += 1
+        elif detection.hb_detected and not actual:
+            fp += 1
+        elif not detection.hb_detected and actual:
+            fn += 1
+        else:
+            tn += 1
+    precision = tp / (tp + fp) if (tp + fp) else 1.0
+    recall = tp / (tp + fn) if (tp + fn) else 1.0
+    facet_accuracy = facet_correct / facet_total if facet_total else 1.0
+    metrics = {
+        "true_positives": tp,
+        "false_positives": fp,
+        "false_negatives": fn,
+        "true_negatives": tn,
+        "precision": precision,
+        "recall": recall,
+        "facet_accuracy": facet_accuracy,
+    }
+    text = format_summary(
+        {
+            **{key: value for key, value in metrics.items() if isinstance(value, int)},
+            "precision": f"{precision * 100:.2f}%",
+            "recall": f"{recall * 100:.2f}%",
+            "facet_accuracy": f"{facet_accuracy * 100:.2f}%",
+        },
+        title="HBDetector accuracy vs. ground truth",
+    )
+    return {"metrics": metrics, "text": text}

@@ -4,52 +4,41 @@
 requested artefacts, which is the quickest way to see the pipeline working::
 
     hbrepro run --sites 2000 --days 1 --figures table1 adoption fig12 facet
+    hbrepro run --sites 2000 --save crawl.jsonl --figures table1
+    hbrepro analyze crawl.jsonl --artifact table1 fig12
     hbrepro historical --sites 400
     hbrepro list
+
+Artefact names resolve through the central metric registry
+(:mod:`repro.analysis.registry`); ``analyze`` recomputes any dataset-only
+metric from a saved crawl without re-simulating the Web.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Sequence
+from typing import Sequence
 
+from repro.analysis.context import AnalysisContext, CONTEXT_FIELDS
+from repro.analysis.dataset import CrawlDataset
+from repro.analysis.registry import available_metrics, compute_metric, iter_metrics
 from repro.crawler.engine import BACKEND_NAMES
 from repro.crawler.storage import CrawlStorage
+from repro.errors import ReproError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentRunner
-from repro.experiments import figures, tables
 
 __all__ = ["main", "build_parser"]
 
+#: What each command's analysis context provides, for filtering the registry.
+_RUN_CONTEXT = frozenset(CONTEXT_FIELDS) - {"historical"}
+_OFFLINE_CONTEXT = frozenset({"dataset"})
+_HISTORICAL_CONTEXT = frozenset({"historical"})
 
-def _artifact_registry() -> dict[str, Callable]:
-    """Name → function producing a printable artefact from run artifacts."""
-    return {
-        "table1": tables.table1_summary,
-        "adoption": tables.adoption_by_rank,
-        "accuracy": tables.detector_accuracy,
-        "facet": figures.facet_breakdown_result,
-        "fig08": figures.figure08_top_partners,
-        "fig09": figures.figure09_partners_per_site,
-        "fig10": figures.figure10_partner_combinations,
-        "fig11": figures.figure11_partners_per_facet,
-        "fig12": figures.figure12_latency_ecdf,
-        "fig13": figures.figure13_latency_vs_rank,
-        "fig14": figures.figure14_partner_latency,
-        "fig15": figures.figure15_latency_vs_partner_count,
-        "fig16": figures.figure16_latency_vs_popularity,
-        "fig17": figures.figure17_late_bids_ecdf,
-        "fig18": figures.figure18_late_bids_per_partner,
-        "fig19": figures.figure19_adslots_ecdf,
-        "fig20": figures.figure20_latency_vs_adslots,
-        "fig21": figures.figure21_adslot_sizes,
-        "fig22": figures.figure22_price_cdf,
-        "fig23": figures.figure23_price_per_size,
-        "fig24": figures.figure24_price_vs_popularity,
-        "waterfall": figures.waterfall_latency_comparison,
-        "prices": figures.waterfall_price_comparison,
-    }
+
+def _metric_names_for(provided: frozenset[str]) -> list[str]:
+    return sorted(available_metrics(provided))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -79,26 +68,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--figures",
         nargs="+",
         default=["table1", "adoption", "facet", "fig12"],
-        choices=sorted(_artifact_registry()),
+        choices=_metric_names_for(_RUN_CONTEXT),
         help="which artefacts to print",
+    )
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="recompute artefacts from a saved crawl (no re-simulation)",
+    )
+    analyze.add_argument("path", help="JSON-Lines crawl dataset written by run --save")
+    analyze.add_argument(
+        "--artifact", "--figures",
+        dest="figures",
+        nargs="+",
+        default=["table1", "adoption", "facet", "fig12"],
+        choices=_metric_names_for(_OFFLINE_CONTEXT),
+        help="which artefacts to recompute (dataset-only metrics)",
     )
 
     historical = sub.add_parser("historical", help="run the Figure 4 historical adoption study")
     historical.add_argument("--sites", type=int, default=500, help="sites per yearly top list")
     historical.add_argument("--seed", type=int, default=2019, help="random seed")
 
-    sub.add_parser("list", help="list every artefact the run command can print")
+    sub.add_parser("list", help="list every artefact the run and analyze commands can print")
     return parser
+
+
+def _print_artifacts(names: Sequence[str], context: AnalysisContext) -> None:
+    for name in names:
+        result = compute_metric(name, context)
+        print(result.text)
+        print()
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    registry = _artifact_registry()
 
     if args.command == "list":
-        for name in sorted(registry):
-            print(name)
+        offline = set(_metric_names_for(_OFFLINE_CONTEXT))
+        historical_only = set(_metric_names_for(_HISTORICAL_CONTEXT))
+        for metric in iter_metrics():
+            if metric.name in offline:
+                availability = "offline"
+            elif metric.name in historical_only:
+                availability = "historical"
+            else:
+                availability = "run-only"
+            print(f"{metric.name:<10} {availability:<10} {metric.title}  [{metric.ref}]")
         return 0
 
     if args.command == "historical":
@@ -108,7 +125,17 @@ def main(argv: Sequence[str] | None = None) -> int:
             historical_sites=args.sites,
         )
         historical = ExperimentRunner(config).run_historical()
-        print(figures.figure04_adoption_history(historical)["text"])
+        context = AnalysisContext(historical=historical)
+        print(compute_metric("fig04", context).text)
+        return 0
+
+    if args.command == "analyze":
+        try:
+            dataset = CrawlDataset.from_jsonl(args.path)
+            _print_artifacts(args.figures, AnalysisContext.offline(dataset))
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
         return 0
 
     config = ExperimentConfig(
@@ -123,10 +150,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     if storage is not None:
         print(f"Streamed {len(artifacts.longitudinal.all_detections)} detections "
               f"to {storage.path}\n")
-    for name in args.figures:
-        result = registry[name](artifacts)
-        print(result["text"])
-        print()
+    _print_artifacts(args.figures, AnalysisContext.from_artifacts(artifacts))
     return 0
 
 

@@ -64,3 +64,23 @@ class AnalysisError(ReproError):
 
 class EmptyDatasetError(AnalysisError):
     """An analysis was requested on an empty dataset."""
+
+
+class UnknownMetricError(AnalysisError):
+    """A metric name was requested that is not in the metric registry."""
+
+    def __init__(self, name: str, known: tuple[str, ...] = ()) -> None:
+        hint = f"; known metrics: {', '.join(known)}" if known else ""
+        super().__init__(f"unknown metric: {name!r}{hint}")
+        self.name = name
+
+
+class MetricContextError(AnalysisError):
+    """A metric was computed without the context pieces it requires."""
+
+    def __init__(self, name: str, missing: tuple[str, ...]) -> None:
+        super().__init__(
+            f"metric {name!r} requires {', '.join(missing)} which the analysis context does not provide"
+        )
+        self.name = name
+        self.missing = missing

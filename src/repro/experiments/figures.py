@@ -1,35 +1,22 @@
-"""One entry point per paper figure.
+"""One entry point per paper figure — thin bindings over the metric registry.
 
-Each function takes :class:`~repro.experiments.runner.ExperimentArtifacts`
-(and sometimes extra parameters), runs the corresponding analysis, and returns
-plain data plus a formatted text block.  The benchmark harness calls these to
-regenerate every figure; the examples print them.
+Each function resolves its figure through
+:mod:`repro.analysis.registry` and returns the legacy dict shape (plain data
+plus a formatted ``"text"`` block), so the benchmark harness and the examples
+keep working unchanged.  The figure computations and their rendering live
+with the analysis modules that register them; adding a figure is a single
+:func:`~repro.analysis.registry.register_metric` call there, and it appears
+here, in the CLI and in ``repro analyze`` automatically.
 """
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Any
 
-from repro.analysis import (
-    adoption,
-    adslots,
-    comparison,
-    late_bids,
-    latency,
-    partners,
-    prices,
-    facets as facet_analysis,
-)
-from repro.analysis.reporting import (
-    format_ecdf,
-    format_share_rows,
-    format_summary,
-    format_table,
-    format_whisker_rows,
-)
+from repro.analysis.context import AnalysisContext
+from repro.analysis.registry import compute_metric
 from repro.crawler.historical import HistoricalAdoption
 from repro.experiments.runner import ExperimentArtifacts
-from repro.models import HBFacet
 
 __all__ = [
     "figure04_adoption_history",
@@ -56,260 +43,111 @@ __all__ = [
 ]
 
 
+def _compute(name: str, artifacts: ExperimentArtifacts, **params: Any) -> dict:
+    result = compute_metric(name, AnalysisContext.from_artifacts(artifacts), **params)
+    return result.as_dict()
+
+
 def figure04_adoption_history(historical: HistoricalAdoption) -> dict:
     """Figure 4: HB adoption per year on the yearly top-1k lists."""
-    rows = adoption.historical_adoption_rows(historical)
-    text = format_table(
-        ["year", "sites", "detected HB", "adoption", "precision", "recall"],
-        [
-            (int(row["year"]), int(row["sites"]), int(row["detected_hb"]),
-             f"{row['adoption_rate'] * 100:.1f}%", f"{row['precision'] * 100:.1f}%",
-             f"{row['recall'] * 100:.1f}%")
-            for row in rows
-        ],
-        title="Figure 4 — HB adoption by year (static analysis of archived snapshots)",
-    )
-    return {"rows": rows, "text": text}
+    return compute_metric("fig04", AnalysisContext(historical=historical)).as_dict()
 
 
 def figure08_top_partners(artifacts: ExperimentArtifacts, *, top_n: int = 11) -> dict:
     """Figure 8: top demand partners by share of HB websites."""
-    rows = partners.partner_popularity(artifacts.dataset, top_n=top_n)
-    text = format_share_rows(
-        [(row.partner, row.share_of_hb_sites) for row in rows],
-        label_header="demand partner",
-        title="Figure 8 — Top demand partners (share of HB websites)",
-    )
-    return {"rows": rows, "text": text}
+    return _compute("fig08", artifacts, top_n=top_n)
 
 
 def figure09_partners_per_site(artifacts: ExperimentArtifacts) -> dict:
     """Figure 9: ECDF of demand partners per HB website."""
-    curve = partners.partners_per_site_ecdf(artifacts.dataset)
-    share_one = curve.fraction_at_most(1.0)
-    share_five_plus = curve.fraction_above(4.0)
-    share_ten_plus = curve.fraction_above(9.0)
-    text = format_ecdf(curve, unit="partners",
-                       title="Figure 9 — Demand partners per HB website (ECDF)")
-    return {
-        "ecdf": curve,
-        "share_one_partner": share_one,
-        "share_five_or_more": share_five_plus,
-        "share_ten_or_more": share_ten_plus,
-        "text": text,
-    }
+    return _compute("fig09", artifacts)
 
 
 def figure10_partner_combinations(artifacts: ExperimentArtifacts, *, top_n: int = 15) -> dict:
     """Figure 10: most frequent demand-partner combinations."""
-    rows = partners.partner_combinations(artifacts.dataset, top_n=top_n)
-    text = format_share_rows(
-        [(" + ".join(combo), share) for combo, share in rows],
-        label_header="combination",
-        title="Figure 10 — Most frequent partner combinations",
-    )
-    return {"rows": rows, "text": text}
+    return _compute("fig10", artifacts, top_n=top_n)
 
 
 def figure11_partners_per_facet(artifacts: ExperimentArtifacts, *, top_n: int = 10) -> dict:
     """Figure 11: top partners per HB facet by share of bids."""
-    per_facet = partners.partners_per_facet(artifacts.dataset, top_n=top_n)
-    blocks = []
-    for facet in HBFacet:
-        rows = per_facet.get(facet, [])
-        if rows:
-            blocks.append(format_share_rows(rows, label_header=f"{facet.value} partner"))
-    return {"per_facet": per_facet, "text": "\n\n".join(blocks)}
+    return _compute("fig11", artifacts, top_n=top_n)
 
 
 def figure12_latency_ecdf(artifacts: ExperimentArtifacts) -> dict:
     """Figure 12: ECDF of total HB latency per page visit."""
-    curve = latency.total_latency_ecdf(artifacts.dataset)
-    text = format_ecdf(curve, unit="ms", title="Figure 12 — Total HB latency (ECDF)")
-    return {
-        "ecdf": curve,
-        "median_ms": curve.median,
-        "share_above_1s": curve.fraction_above(1_000.0),
-        "share_above_3s": curve.fraction_above(3_000.0),
-        "text": text,
-    }
+    return _compute("fig12", artifacts)
 
 
 def figure13_latency_vs_rank(artifacts: ExperimentArtifacts, *, bin_size: int | None = None) -> dict:
     """Figure 13: HB latency versus site popularity rank."""
-    if bin_size is None:
-        # The paper bins 5k HB sites out of 35k into bins of 500; scale the bin
-        # width with the simulated population so each bin keeps enough sites.
-        bin_size = max(50, artifacts.config.total_sites // 70)
-    rows = latency.latency_by_rank_bin(artifacts.dataset, bin_size=bin_size)
-    text = format_whisker_rows(rows, label_header="rank bin", unit="ms",
-                               title="Figure 13 — HB latency vs. site rank")
-    return {"rows": rows, "bin_size": bin_size, "text": text}
+    return _compute("fig13", artifacts, bin_size=bin_size)
 
 
 def figure14_partner_latency(artifacts: ExperimentArtifacts, *, top_n: int = 10) -> dict:
     """Figure 14: fastest, top-market-share and slowest partners by latency."""
-    fastest = latency.fastest_partners(artifacts.dataset, top_n=top_n)
-    slowest = latency.slowest_partners(artifacts.dataset, top_n=top_n)
-    profiles = latency.partner_latency_profiles(artifacts.dataset)
-    top_market = profiles[:top_n]
-    text = "\n\n".join(
-        [
-            format_whisker_rows([(p.partner, p.stats) for p in fastest],
-                                label_header="fastest partner", unit="ms"),
-            format_whisker_rows([(p.partner, p.stats) for p in top_market],
-                                label_header="top market-share partner", unit="ms"),
-            format_whisker_rows([(p.partner, p.stats) for p in slowest],
-                                label_header="slowest partner", unit="ms"),
-        ]
-    )
-    return {"fastest": fastest, "top_market": top_market, "slowest": slowest, "text": text}
+    return _compute("fig14", artifacts, top_n=top_n)
 
 
 def figure15_latency_vs_partner_count(artifacts: ExperimentArtifacts) -> dict:
     """Figure 15: HB latency and share of sites vs. number of partners."""
-    rows = latency.latency_by_partner_count(artifacts.dataset)
-    text = format_table(
-        ["#partners", "median (ms)", "p95 (ms)", "share of sites"],
-        [
-            (count, round(stats.median, 1), round(stats.p95, 1), f"{share * 100:.1f}%")
-            for count, stats, share in rows
-        ],
-        title="Figure 15 — HB latency vs. number of demand partners",
-    )
-    return {"rows": rows, "text": text}
+    return _compute("fig15", artifacts)
 
 
 def figure16_latency_vs_popularity(artifacts: ExperimentArtifacts, *, bin_size: int = 10) -> dict:
     """Figure 16: partner latency variability vs. popularity rank."""
-    rows = latency.latency_by_popularity_rank(artifacts.dataset, bin_size=bin_size)
-    text = format_whisker_rows(rows, label_header="popularity rank bin", unit="ms",
-                               title="Figure 16 — Partner latency vs. popularity rank")
-    return {"rows": rows, "text": text}
+    return _compute("fig16", artifacts, bin_size=bin_size)
 
 
 def figure17_late_bids_ecdf(artifacts: ExperimentArtifacts) -> dict:
     """Figure 17: ECDF of the share of late bids per auction."""
-    curve = late_bids.late_bid_ecdf(artifacts.dataset)
-    summary = late_bids.late_bid_share_distribution(artifacts.dataset)
-    text = format_ecdf(curve, unit="% late",
-                       title="Figure 17 — Late bids per auction (ECDF, % of bids)")
-    return {"ecdf": curve, "median_late_share": curve.median, "summary": summary, "text": text}
+    return _compute("fig17", artifacts)
 
 
 def figure18_late_bids_per_partner(artifacts: ExperimentArtifacts, *, top_n: int = 25) -> dict:
     """Figure 18: share of late bids per demand partner."""
-    rows = late_bids.late_bids_per_partner(artifacts.dataset)
-    partners_half_late = sum(1 for row in rows if row.late_share >= 0.5)
-    text = format_table(
-        ["partner", "bids", "late bids", "late share"],
-        [(row.partner, row.bids, row.late_bids, f"{row.late_share * 100:.1f}%") for row in rows[:top_n]],
-        title="Figure 18 — Late bids per demand partner",
-    )
-    return {"rows": rows, "partners_half_late": partners_half_late, "text": text}
+    return _compute("fig18", artifacts, top_n=top_n)
 
 
 def figure19_adslots_ecdf(artifacts: ExperimentArtifacts) -> dict:
     """Figure 19: auctioned ad-slots per website, per facet."""
-    curves = adslots.adslots_per_site_ecdf(artifacts.dataset)
-    blocks = [
-        format_ecdf(curve, unit="slots", title=f"Figure 19 — Auctioned ad-slots ({facet.value})")
-        for facet, curve in curves.items()
-    ]
-    medians = {facet: curve.median for facet, curve in curves.items()}
-    return {"ecdfs": curves, "medians": medians, "text": "\n\n".join(blocks)}
+    return _compute("fig19", artifacts)
 
 
 def figure20_latency_vs_adslots(artifacts: ExperimentArtifacts) -> dict:
     """Figure 20: HB latency as a function of the number of auctioned slots."""
-    rows = adslots.latency_by_adslot_count(artifacts.dataset)
-    text = format_whisker_rows(rows, label_header="#auctioned slots", unit="ms",
-                               title="Figure 20 — HB latency vs. auctioned ad-slots")
-    return {"rows": rows, "text": text}
+    return _compute("fig20", artifacts)
 
 
 def figure21_adslot_sizes(artifacts: ExperimentArtifacts, *, top_n: int = 10) -> dict:
     """Figure 21: most popular creative sizes per facet."""
-    shares = adslots.adslot_size_shares(artifacts.dataset, top_n=top_n)
-    blocks = [
-        format_share_rows(rows, label_header=f"{facet.value} size")
-        for facet, rows in shares.items()
-        if rows
-    ]
-    return {"shares": shares, "text": "\n\n".join(blocks)}
+    return _compute("fig21", artifacts, top_n=top_n)
 
 
 def figure22_price_cdf(artifacts: ExperimentArtifacts) -> dict:
     """Figure 22: CDF of bid prices per facet."""
-    curves = prices.price_ecdf_by_facet(artifacts.dataset)
-    blocks = [
-        format_ecdf(curve, unit="CPM", title=f"Figure 22 — Bid prices ({facet.value})")
-        for facet, curve in curves.items()
-    ]
-    medians = {facet: curve.median for facet, curve in curves.items()}
-    return {"ecdfs": curves, "medians": medians, "text": "\n\n".join(blocks)}
+    return _compute("fig22", artifacts)
 
 
 def figure23_price_per_size(artifacts: ExperimentArtifacts) -> dict:
     """Figure 23: bid price distribution per creative size."""
-    rows = prices.price_by_size(artifacts.dataset)
-    text = format_whisker_rows(rows, label_header="ad-slot size", unit="CPM",
-                               title="Figure 23 — Bid price per ad-slot size")
-    return {"rows": rows, "text": text}
+    return _compute("fig23", artifacts)
 
 
 def figure24_price_vs_popularity(artifacts: ExperimentArtifacts, *, bin_size: int = 10) -> dict:
     """Figure 24: bid prices vs. the bidding partner's popularity rank."""
-    rows = prices.price_by_popularity_rank(artifacts.dataset, bin_size=bin_size)
-    text = format_whisker_rows(rows, label_header="popularity rank bin", unit="CPM",
-                               title="Figure 24 — Bid price vs. partner popularity")
-    return {"rows": rows, "text": text}
+    return _compute("fig24", artifacts, bin_size=bin_size)
 
 
 def facet_breakdown_result(artifacts: ExperimentArtifacts) -> dict:
     """§4.6: share of HB sites per facet."""
-    breakdown = facet_analysis.facet_breakdown(artifacts.dataset)
-    text = format_share_rows(
-        [(facet.value, share) for facet, share in breakdown.items()],
-        label_header="HB facet",
-        title="Facet breakdown (share of HB sites)",
-    )
-    return {"breakdown": breakdown, "text": text}
+    return _compute("facet", artifacts)
 
 
 def waterfall_latency_comparison(artifacts: ExperimentArtifacts) -> dict:
     """§1 / §7.2: HB latency versus the waterfall baseline."""
-    result = comparison.hb_vs_waterfall_latency(
-        artifacts.dataset, list(artifacts.population), artifacts.environment,
-        seed=artifacts.config.seed,
-    )
-    text = format_table(
-        ["protocol", "median (ms)", "p95 (ms)"],
-        [
-            ("header bidding", round(result.hb.median, 1), round(result.hb.p95, 1)),
-            ("waterfall", round(result.waterfall.median, 1), round(result.waterfall.p95, 1)),
-            ("HB / waterfall ratio", round(result.median_ratio, 2), round(result.p90_ratio, 2)),
-        ],
-        title="HB vs. waterfall latency",
-    )
-    return {"comparison": result, "text": text}
+    return _compute("waterfall", artifacts)
 
 
 def waterfall_price_comparison(artifacts: ExperimentArtifacts) -> dict:
     """§5.4: HB baseline prices versus waterfall RTB prices."""
-    result = comparison.hb_vs_waterfall_prices(
-        artifacts.dataset, list(artifacts.population), artifacts.environment,
-        seed=artifacts.config.seed,
-    )
-    text = format_table(
-        ["channel", "median CPM", "p75 CPM"],
-        [
-            ("HB (vanilla profile)", round(result.hb.median, 4), round(result.hb.p75, 4)),
-            ("waterfall RTB (real users)", round(result.waterfall_real_user.median, 4),
-             round(result.waterfall_real_user.p75, 4)),
-            ("waterfall RTB (vanilla)", round(result.waterfall_vanilla.median, 4),
-             round(result.waterfall_vanilla.p75, 4)),
-        ],
-        title="HB vs. waterfall prices",
-    )
-    return {"comparison": result, "text": text}
+    return _compute("prices", artifacts)

@@ -14,6 +14,7 @@ figure.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -51,7 +52,42 @@ class ExperimentArtifacts:
         return self.dataset.summary()
 
 
-_ARTIFACT_CACHE: dict[tuple, ExperimentArtifacts] = {}
+#: Memoised experiment runs, keyed by the configuration fields ``run()``
+#: actually consumes (the historical-study parameters are excluded on
+#: purpose: varying them must not force a crawl re-simulation).  Bounded
+#: LRU: long-lived processes that sweep many configurations (parameter
+#: scans, services) evict the least recently used run instead of growing
+#: without limit.  Each entry holds a full simulated-Web run, so the cap is
+#: deliberately small.
+_ARTIFACT_CACHE: "OrderedDict[tuple, ExperimentArtifacts]" = OrderedDict()
+ARTIFACT_CACHE_MAX_ENTRIES = 8
+
+
+def _run_cache_key(config: ExperimentConfig) -> tuple:
+    return (
+        config.total_sites,
+        config.seed,
+        config.recrawl_days,
+        config.detector_coverage,
+        config.total_partners,
+        config.vanilla_profile,
+        config.workers,
+        config.crawl_backend,
+    )
+
+
+def _cache_get(key: tuple) -> ExperimentArtifacts | None:
+    artifacts = _ARTIFACT_CACHE.get(key)
+    if artifacts is not None:
+        _ARTIFACT_CACHE.move_to_end(key)
+    return artifacts
+
+
+def _cache_put(key: tuple, artifacts: ExperimentArtifacts) -> None:
+    _ARTIFACT_CACHE[key] = artifacts
+    _ARTIFACT_CACHE.move_to_end(key)
+    while len(_ARTIFACT_CACHE) > ARTIFACT_CACHE_MAX_ENTRIES:
+        _ARTIFACT_CACHE.popitem(last=False)
 
 
 class ExperimentRunner:
@@ -93,19 +129,12 @@ class ExperimentRunner:
         runs given a storage are never served from the artifact cache, since
         a cache hit would skip the writes.
         """
-        cache_key = (
-            self.config.total_sites,
-            self.config.seed,
-            self.config.recrawl_days,
-            self.config.detector_coverage,
-            self.config.total_partners,
-            self.config.vanilla_profile,
-            self.config.workers,
-            self.config.crawl_backend,
-        )
+        cache_key = _run_cache_key(self.config)
         use_cache = use_cache and storage is None
-        if use_cache and cache_key in _ARTIFACT_CACHE:
-            return _ARTIFACT_CACHE[cache_key]
+        if use_cache:
+            cached = _cache_get(cache_key)
+            if cached is not None:
+                return cached
 
         population = self.build_population()
         environment = self.build_environment(population)
@@ -129,7 +158,7 @@ class ExperimentRunner:
             dataset=dataset,
         )
         if use_cache:
-            _ARTIFACT_CACHE[cache_key] = artifacts
+            _cache_put(cache_key, artifacts)
         return artifacts
 
     def run_historical(self) -> HistoricalAdoption:
@@ -147,3 +176,8 @@ class ExperimentRunner:
 def clear_artifact_cache() -> None:
     """Drop memoised experiment artifacts (used by tests that vary configs)."""
     _ARTIFACT_CACHE.clear()
+
+
+def artifact_cache_size() -> int:
+    """How many experiment runs are currently memoised."""
+    return len(_ARTIFACT_CACHE)

@@ -1,17 +1,16 @@
-"""One entry point per paper table and per headline text result.
+"""One entry point per paper table — thin bindings over the metric registry.
 
 The paper has a single numbered table (Table 1, the crawl summary) plus
-several headline numbers quoted in the text (§3.2 adoption by rank tier,
-§4.1 detector accuracy).  Each gets a function here so the benchmark harness
-can regenerate and print it.
+several headline results quoted in the text (§3.2 adoption by rank tier,
+§4.1 detector accuracy).  Each resolves through
+:mod:`repro.analysis.registry`; the computations live with the analysis
+modules that register them.
 """
 
 from __future__ import annotations
 
-from typing import Mapping
-
-from repro.analysis import adoption
-from repro.analysis.reporting import format_summary, format_table
+from repro.analysis.context import AnalysisContext
+from repro.analysis.registry import compute_metric
 from repro.experiments.runner import ExperimentArtifacts
 
 __all__ = ["table1_summary", "adoption_by_rank", "detector_accuracy"]
@@ -19,82 +18,14 @@ __all__ = ["table1_summary", "adoption_by_rank", "detector_accuracy"]
 
 def table1_summary(artifacts: ExperimentArtifacts) -> dict:
     """Table 1: summary of the data collected by the crawl."""
-    summary = artifacts.dataset.summary()
-    rows = [
-        ("# of websites crawled", summary["websites_crawled"]),
-        ("# of websites with HB", summary["websites_with_hb"]),
-        ("# of auctions detected", summary["auctions_detected"]),
-        ("# of bids detected", summary["bids_detected"]),
-        ("# of competing Demand Partners", summary["competing_demand_partners"]),
-        ("# crawl days", summary["crawl_days"]),
-        ("HB adoption rate", f"{summary['adoption_rate'] * 100:.2f}%"),
-    ]
-    text = format_table(["data", "volume"], rows, title="Table 1 — Crawl summary")
-    return {"summary": summary, "text": text}
+    return compute_metric("table1", AnalysisContext.from_artifacts(artifacts)).as_dict()
 
 
 def adoption_by_rank(artifacts: ExperimentArtifacts) -> dict:
     """§3.2: adoption rate per rank tier (top 5k / 5k-15k / rest)."""
-    tiers = adoption.adoption_by_rank_tier(artifacts.dataset)
-    overall = adoption.adoption_summary(artifacts.dataset)["overall"]
-    text = format_table(
-        ["rank tier", "sites", "HB sites", "adoption"],
-        [
-            (tier.tier_label, tier.sites, tier.hb_sites, f"{tier.adoption_rate * 100:.1f}%")
-            for tier in tiers
-        ]
-        + [("overall", int(sum(t.sites for t in tiers)), int(sum(t.hb_sites for t in tiers)),
-            f"{overall * 100:.1f}%")],
-        title="HB adoption by rank tier",
-    )
-    return {"tiers": tiers, "overall": overall, "text": text}
+    return compute_metric("adoption", AnalysisContext.from_artifacts(artifacts)).as_dict()
 
 
 def detector_accuracy(artifacts: ExperimentArtifacts) -> dict:
-    """§4.1: HBDetector precision/recall against the simulation's ground truth.
-
-    The paper argues for 100% precision and high (but not perfect) recall; the
-    reproduction can measure both exactly because it owns the ground truth.
-    """
-    population = artifacts.population
-    truth = {publisher.domain: publisher.uses_hb for publisher in population}
-    facet_truth = {publisher.domain: publisher.facet for publisher in population}
-
-    tp = fp = fn = tn = 0
-    facet_correct = 0
-    facet_total = 0
-    for detection in artifacts.dataset.sites():
-        actual = truth.get(detection.domain, False)
-        if detection.hb_detected and actual:
-            tp += 1
-            facet_total += 1
-            if detection.facet == facet_truth.get(detection.domain):
-                facet_correct += 1
-        elif detection.hb_detected and not actual:
-            fp += 1
-        elif not detection.hb_detected and actual:
-            fn += 1
-        else:
-            tn += 1
-    precision = tp / (tp + fp) if (tp + fp) else 1.0
-    recall = tp / (tp + fn) if (tp + fn) else 1.0
-    facet_accuracy = facet_correct / facet_total if facet_total else 1.0
-    metrics = {
-        "true_positives": tp,
-        "false_positives": fp,
-        "false_negatives": fn,
-        "true_negatives": tn,
-        "precision": precision,
-        "recall": recall,
-        "facet_accuracy": facet_accuracy,
-    }
-    text = format_summary(
-        {
-            **{key: value for key, value in metrics.items() if isinstance(value, int)},
-            "precision": f"{precision * 100:.2f}%",
-            "recall": f"{recall * 100:.2f}%",
-            "facet_accuracy": f"{facet_accuracy * 100:.2f}%",
-        },
-        title="HBDetector accuracy vs. ground truth",
-    )
-    return {"metrics": metrics, "text": text}
+    """§4.1: HBDetector precision/recall against the simulation's ground truth."""
+    return compute_metric("accuracy", AnalysisContext.from_artifacts(artifacts)).as_dict()

@@ -70,3 +70,44 @@ class TestReporting:
     def test_format_share_rows_renders_percentages(self):
         text = format_share_rows([("DFP", 0.801)], label_header="partner")
         assert "80.10%" in text
+
+
+class TestCellFormatting:
+    """Direct tests for the float formatting edge cases in table cells."""
+
+    def test_format_table_column_widths_track_longest_cell(self):
+        text = format_table(["a", "bb"], [("x", 1), ("longer-label", 22)])
+        lines = text.splitlines()
+        # Every line starts its second column at the same offset (widest cell + 2).
+        offset = len("longer-label") + 2
+        assert lines[0][offset:].startswith("bb")
+        assert lines[2][offset:].startswith("1")
+        assert lines[3][offset:].startswith("22")
+
+    def test_negative_zero_renders_without_sign(self):
+        text = format_table(["v"], [(-0.0,)])
+        assert text.splitlines()[-1] == "0"
+
+    def test_tiny_negative_does_not_round_to_signed_zero(self):
+        text = format_table(["v"], [(-1e-9,)])
+        assert text.splitlines()[-1] == "0.0000"
+
+    def test_nan_and_inf_render_explicitly(self):
+        text = format_table(["a", "b", "c"], [(float("nan"), float("inf"), float("-inf"))])
+        assert text.splitlines()[-1].split() == ["nan", "inf", "-inf"]
+
+    def test_magnitude_dependent_precision(self):
+        rows = [(1234.5,), (12.345,), (0.1234,)]
+        rendered = [format_table(["v"], [row]).splitlines()[-1] for row in rows]
+        assert rendered == ["1,234", "12.35", "0.1234"]
+
+    def test_format_ecdf_default_quantiles(self):
+        text = format_ecdf(ecdf([1.0, 2.0, 3.0, 4.0, 5.0]), unit="ms", title="E")
+        lines = text.splitlines()
+        assert lines[0] == "E"
+        assert [line.split()[0] for line in lines[3:]] == ["p10", "p25", "p50", "p75", "p90", "p95"]
+        assert "value ms" in lines[1]
+
+    def test_format_ecdf_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            format_ecdf(ecdf([1.0, 2.0]), quantiles=(1.5,))

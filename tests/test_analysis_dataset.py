@@ -89,3 +89,51 @@ class TestCrawlDataset:
 
     def test_crawl_days_sorted(self, mixed_dataset):
         assert mixed_dataset.crawl_days() == (0, 1)
+
+
+class TestIndexCache:
+    def test_views_are_cached_between_calls(self, mixed_dataset):
+        first = mixed_dataset.hb_detections()
+        assert mixed_dataset.hb_detections() is first
+        assert mixed_dataset.bids() is mixed_dataset.bids()
+        assert mixed_dataset.partner_site_counts() is mixed_dataset.partner_site_counts()
+
+    def test_repeat_access_builds_each_index_once(self, mixed_dataset):
+        for _ in range(3):
+            mixed_dataset.hb_sites()
+            mixed_dataset.auctions()
+            mixed_dataset.summary()
+        stats = mixed_dataset.index_stats()
+        assert stats["builds"] == stats["cached"]
+
+    def test_extend_invalidates_indices(self, mixed_dataset):
+        assert len(mixed_dataset.sites()) == 3
+        assert len(mixed_dataset.hb_sites()) == 2
+        mixed_dataset.extend([detection("d.example", day=0, facet=HBFacet.HYBRID)])
+        assert len(mixed_dataset.sites()) == 4
+        assert len(mixed_dataset.hb_sites()) == 3
+        assert mixed_dataset.summary()["websites_with_hb"] == 3
+
+    def test_manual_invalidate_after_direct_mutation(self, mixed_dataset):
+        mixed_dataset.sites()
+        mixed_dataset.detections.append(detection("e.example", hb=False))
+        mixed_dataset.invalidate_indices()
+        assert len(mixed_dataset.sites()) == 4
+        assert mixed_dataset.index_stats()["cached"] == 1
+
+    def test_rank_bin_index_is_parameterised(self, mixed_dataset):
+        by_10 = mixed_dataset.hb_latencies_by_rank_bin(10)
+        by_5 = mixed_dataset.hb_latencies_by_rank_bin(5)
+        assert mixed_dataset.hb_latencies_by_rank_bin(10) is by_10
+        assert by_5 is not by_10
+        assert sum(len(v) for v in by_10.values()) == len(mixed_dataset.hb_latency_values())
+
+    def test_rank_bin_rejects_non_positive_width(self, mixed_dataset):
+        with pytest.raises(ValueError):
+            mixed_dataset.hb_latencies_by_rank_bin(0)
+
+    def test_filtered_dataset_has_a_fresh_cache(self, mixed_dataset):
+        mixed_dataset.hb_detections()
+        filtered = mixed_dataset.filter(lambda d: d.crawl_day == 0)
+        assert filtered.index_stats() == {"cached": 0, "builds": 0}
+        assert len(filtered.hb_detections()) == 2

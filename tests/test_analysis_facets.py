@@ -1,0 +1,70 @@
+"""Direct unit tests for the facet-breakdown analysis (§4.6) on synthetic data."""
+
+import pytest
+
+from repro.analysis import AnalysisContext, compute_metric, facets
+from repro.analysis.dataset import CrawlDataset
+from repro.detector.records import SiteDetection
+from repro.errors import EmptyDatasetError
+from repro.models import HBFacet
+
+
+def detection(domain, facet, hb=True, day=0, rank=10):
+    return SiteDetection(
+        domain=domain, rank=rank, hb_detected=hb,
+        facet=facet if hb else None,
+        partners=("AppNexus",) if hb else (),
+        crawl_day=day,
+    )
+
+
+@pytest.fixture()
+def facet_dataset():
+    return CrawlDataset.from_detections([
+        detection("a.example", HBFacet.SERVER_SIDE),
+        detection("b.example", HBFacet.SERVER_SIDE),
+        detection("b.example", HBFacet.SERVER_SIDE, day=1),  # re-crawl, not double-counted
+        detection("c.example", HBFacet.CLIENT_SIDE),
+        detection("d.example", HBFacet.HYBRID),
+        detection("e.example", None, hb=False),
+    ])
+
+
+class TestFacetCounts:
+    def test_counts_one_record_per_site(self, facet_dataset):
+        counts = facets.facet_counts(facet_dataset)
+        assert counts[HBFacet.SERVER_SIDE] == 2
+        assert counts[HBFacet.CLIENT_SIDE] == 1
+        assert counts[HBFacet.HYBRID] == 1
+
+    def test_counts_cover_every_facet_key(self, facet_dataset):
+        assert set(facets.facet_counts(facet_dataset)) == set(HBFacet)
+
+    def test_non_hb_sites_are_excluded(self, facet_dataset):
+        assert sum(facets.facet_counts(facet_dataset).values()) == 4
+
+
+class TestFacetBreakdown:
+    def test_shares_sum_to_one(self, facet_dataset):
+        breakdown = facets.facet_breakdown(facet_dataset)
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+        assert breakdown[HBFacet.SERVER_SIDE] == pytest.approx(0.5)
+        assert breakdown[HBFacet.CLIENT_SIDE] == pytest.approx(0.25)
+        assert breakdown[HBFacet.HYBRID] == pytest.approx(0.25)
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(EmptyDatasetError):
+            facets.facet_breakdown(CrawlDataset())
+
+    def test_hb_free_dataset_raises(self):
+        dataset = CrawlDataset.from_detections([detection("x.example", None, hb=False)])
+        with pytest.raises(EmptyDatasetError):
+            facets.facet_breakdown(dataset)
+
+
+class TestFacetMetric:
+    def test_registered_metric_renders_share_rows(self, facet_dataset):
+        result = compute_metric("facet", AnalysisContext.offline(facet_dataset))
+        assert result.text.startswith("Facet breakdown")
+        assert "50.00%" in result.text
+        assert result.data["breakdown"][HBFacet.SERVER_SIDE] == pytest.approx(0.5)

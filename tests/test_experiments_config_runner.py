@@ -4,7 +4,12 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import ExperimentRunner, clear_artifact_cache
+from repro.experiments import runner as runner_module
+from repro.experiments.runner import (
+    ExperimentRunner,
+    artifact_cache_size,
+    clear_artifact_cache,
+)
 
 
 class TestExperimentConfig:
@@ -81,6 +86,48 @@ class TestExperimentRunner:
         config = ExperimentConfig.test_scale()
         historical = ExperimentRunner(config).run_historical()
         assert historical.years == tuple(sorted(config.historical_years))
+
+
+class TestArtifactCacheBound:
+    @pytest.fixture(autouse=True)
+    def _isolate_cache(self):
+        clear_artifact_cache()
+        yield
+        clear_artifact_cache()
+
+    def test_cache_is_keyed_by_run_relevant_fields(self):
+        base = ExperimentConfig(total_sites=400, seed=77, recrawl_days=0, historical_sites=100)
+        first = ExperimentRunner(base).run()
+        same = ExperimentRunner(ExperimentConfig(total_sites=400, seed=77, recrawl_days=0,
+                                                 historical_sites=100)).run()
+        assert first is same
+        # The historical-study parameters are not consumed by run(): varying
+        # them must hit the cache instead of re-simulating the crawl.
+        historical_variant = ExperimentConfig(total_sites=400, seed=77, recrawl_days=0,
+                                              historical_sites=200)
+        assert ExperimentRunner(historical_variant).run() is first
+        other = ExperimentRunner(base.with_seed(78)).run()
+        assert other is not first
+        assert artifact_cache_size() == 2
+
+    def test_cache_never_exceeds_the_cap(self, monkeypatch):
+        monkeypatch.setattr(runner_module, "ARTIFACT_CACHE_MAX_ENTRIES", 2)
+        configs = [ExperimentConfig(total_sites=400, seed=200 + n, recrawl_days=0,
+                                    historical_sites=100) for n in range(3)]
+        for config in configs:
+            ExperimentRunner(config).run()
+            assert artifact_cache_size() <= 2
+
+    def test_least_recently_used_run_is_evicted_first(self, monkeypatch):
+        monkeypatch.setattr(runner_module, "ARTIFACT_CACHE_MAX_ENTRIES", 2)
+        a, b, c = [ExperimentConfig(total_sites=400, seed=300 + n, recrawl_days=0,
+                                    historical_sites=100) for n in range(3)]
+        first_a = ExperimentRunner(a).run()
+        ExperimentRunner(b).run()
+        assert ExperimentRunner(a).run() is first_a  # refresh a: b is now LRU
+        ExperimentRunner(c).run()                    # evicts b
+        assert ExperimentRunner(a).run() is first_a
+        assert artifact_cache_size() == 2
 
 
 class TestParallelExperiments:

@@ -1,0 +1,75 @@
+"""Offline analysis: ``from_jsonl`` ingestion and the ``analyze`` CLI round-trip.
+
+A crawl saved with ``run --save`` must be analysable any number of times
+without re-simulating the Web, and the printed artefacts must be
+byte-identical to the in-memory path.
+"""
+
+import pytest
+
+from repro.analysis.dataset import CrawlDataset
+from repro.cli import build_parser, main
+from repro.crawler.storage import CrawlStorage
+from repro.errors import StorageError
+
+#: Every artefact the offline path supports, exercised end to end.
+OFFLINE_ARTIFACTS = [
+    "table1", "adoption", "facet",
+    "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+    "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
+    "fig24",
+]
+
+
+class TestFromJsonl:
+    def test_round_trips_detections_exactly(self, experiment_artifacts, tmp_path):
+        path = tmp_path / "crawl.jsonl"
+        CrawlStorage(path).save(experiment_artifacts.dataset.detections)
+        loaded = CrawlDataset.from_jsonl(path)
+        assert loaded.detections == experiment_artifacts.dataset.detections
+        assert loaded.label == "crawl"
+
+    def test_label_defaults_to_file_stem_and_can_be_overridden(self, experiment_artifacts, tmp_path):
+        path = tmp_path / "campaign-2019.jsonl"
+        CrawlStorage(path).save(experiment_artifacts.dataset.detections[:5])
+        assert CrawlDataset.from_jsonl(path).label == "campaign-2019"
+        assert CrawlDataset.from_jsonl(path, label="x").label == "x"
+
+    def test_summary_matches_in_memory_dataset(self, experiment_artifacts, tmp_path):
+        path = tmp_path / "crawl.jsonl"
+        CrawlStorage(path).save(experiment_artifacts.dataset.detections)
+        assert CrawlDataset.from_jsonl(path).summary() == experiment_artifacts.dataset.summary()
+
+    def test_missing_file_raises_storage_error(self, tmp_path):
+        with pytest.raises(StorageError):
+            CrawlDataset.from_jsonl(tmp_path / "nope.jsonl")
+
+
+class TestAnalyzeCli:
+    def test_analyze_parser_accepts_artifact_and_figures_aliases(self):
+        args = build_parser().parse_args(["analyze", "c.jsonl", "--artifact", "table1"])
+        assert args.figures == ["table1"]
+        args = build_parser().parse_args(["analyze", "c.jsonl", "--figures", "fig12"])
+        assert args.figures == ["fig12"]
+
+    def test_analyze_rejects_simulation_only_artifacts(self):
+        for name in ("accuracy", "waterfall", "prices", "fig04"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["analyze", "c.jsonl", "--artifact", name])
+
+    def test_analyze_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "nope.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_round_trip_prints_byte_identical_artifacts(self, tmp_path, capsys):
+        """``run --save`` then ``analyze`` reproduces the run output exactly."""
+        saved = tmp_path / "crawl.jsonl"
+        assert main(["run", "--sites", "400", "--days", "1", "--seed", "7",
+                     "--save", str(saved), "--figures", *OFFLINE_ARTIFACTS]) == 0
+        run_out = capsys.readouterr().out
+        # Drop the "Streamed N detections to ..." banner (two lines).
+        run_artifacts = run_out.split("\n", 2)[2]
+
+        assert main(["analyze", str(saved), "--artifact", *OFFLINE_ARTIFACTS]) == 0
+        analyze_out = capsys.readouterr().out
+        assert analyze_out == run_artifacts
