@@ -1,0 +1,332 @@
+"""Hot-path benchmark harness: worker reuse, incremental indices, buffered sink.
+
+Measures the three paths PR 3 optimised and writes a machine-readable JSON
+report (``BENCH_crawl_hotpath.json`` at the repo root by default) so future
+PRs can track the perf trajectory:
+
+* ``crawl`` — pages/s per backend, including the process/thread pools cold
+  (first crawl, pool spin-up + per-worker context build included) vs warm
+  (reusing the live pool), plus how many environment/detector payload ships
+  the per-worker initializer saves over the old per-shard scheme.
+* ``index`` — detections/s for a cold full re-analysis vs an incremental
+  ``extend()`` + re-access of every index, with the rebuild counts proving
+  the warm path never rebuilds.
+* ``sink`` — detections/s through an unbuffered (``flush_every=1``) vs a
+  buffered sink, and end-to-end pages/s of a parallel crawl streaming to
+  each; the produced files are asserted byte-identical.
+* ``match_host`` — partner-list lookups/s cold vs memoised.
+
+Every timed section also asserts the optimisation's correctness contract
+(byte-identical detections/files, incremental == rebuilt), so the harness
+doubles as a smoke test: CI runs it with ``--smoke`` (tiny workload, one
+iteration) to keep it from rotting.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/hotpath.py [--smoke] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import pickle
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analysis.dataset import CrawlDataset
+from repro.crawler.crawler import CrawlConfig
+from repro.crawler.engine import CrawlEngine
+from repro.crawler.storage import CrawlStorage, detection_to_dict
+from repro.detector.detector import HBDetector
+from repro.detector.partner_list import build_known_partner_list
+from repro.ecosystem.publishers import PopulationConfig, generate_population
+from repro.ecosystem.registry import default_registry
+from repro.hb.environment import AuctionEnvironment
+
+SEED = 77
+WORKERS = 4
+
+
+def _serialise(detections):
+    return json.dumps([detection_to_dict(d) for d in detections])
+
+
+def _touch_indices(dataset: CrawlDataset) -> None:
+    """Access every registered index (two rank-bin parameters included)."""
+    dataset.hb_detections()
+    dataset.sites()
+    dataset.hb_sites()
+    dataset.auctions()
+    dataset.bids()
+    dataset.priced_bids()
+    dataset.by_facet()
+    dataset.auctions_by_facet()
+    dataset.bids_by_partner()
+    dataset.partner_site_counts()
+    dataset.partner_popularity_ranking()
+    dataset.partner_latency_samples()
+    dataset.site_latencies()
+    dataset.hb_latency_values()
+    dataset.hb_latencies_by_rank_bin(10)
+    dataset.hb_latencies_by_rank_bin(50)
+    dataset.crawl_days()
+    dataset.summary()
+
+
+def bench_crawl(environment, detector, publishers, repeat: int) -> dict:
+    n = len(publishers)
+    results: dict = {}
+
+    with CrawlEngine(environment, detector, CrawlConfig(seed=SEED)) as engine:
+        start = time.perf_counter()
+        serial_result = engine.crawl(publishers)
+        serial_s = time.perf_counter() - start
+    serial_json = _serialise(serial_result.detections)
+    results["serial"] = {"pages_per_s": round(n / serial_s, 1)}
+
+    for backend in ("thread", "process"):
+        config = CrawlConfig(seed=SEED, workers=WORKERS, backend=backend)
+        with CrawlEngine(environment, detector, config) as engine:
+            start = time.perf_counter()
+            cold_result = engine.crawl(publishers)
+            cold_s = time.perf_counter() - start
+            assert _serialise(cold_result.detections) == serial_json, backend
+            warm_s = min(
+                _timed(engine.crawl, publishers) for _ in range(max(1, repeat))
+            )
+        results[backend] = {
+            "cold_pages_per_s": round(n / cold_s, 1),
+            "warm_pages_per_s": round(n / warm_s, 1),
+            "warm_over_cold": round(cold_s / warm_s, 2),
+        }
+
+    # The payload the old design pickled per submitted shard now ships once
+    # per worker process, for the engine's whole lifetime.
+    payload_bytes = len(pickle.dumps((environment, detector)))
+    crawls = 1 + max(1, repeat)
+    results["worker_ship"] = {
+        "payload_bytes": payload_bytes,
+        "ships_now_per_engine": WORKERS,
+        "ships_before_per_engine": WORKERS * crawls,  # one per shard per crawl
+        "crawls_measured": crawls,
+    }
+    return results
+
+
+def _timed(fn, *args, **kwargs) -> float:
+    start = time.perf_counter()
+    fn(*args, **kwargs)
+    return time.perf_counter() - start
+
+
+def bench_index(detections, reps: int, repeat: int) -> dict:
+    # Replicate the crawl into a longitudinal-sized dataset: same sites
+    # re-visited on later crawl days, which is exactly the shape extend()
+    # sees when tailing a daily re-crawl.
+    def day_shift(day):
+        return [dataclasses.replace(d, crawl_day=d.crawl_day + day) for d in detections]
+
+    base = [d for day in range(reps) for d in day_shift(day)]
+    delta = day_shift(reps)
+    n, m = len(base), len(delta)
+
+    cold_s = []
+    builds_per_pass = 0
+    for _ in range(max(1, repeat)):
+        cold = CrawlDataset.from_detections(base + delta)
+        cold_s.append(_timed(_touch_indices, cold))
+        builds_per_pass = cold.index_stats()["builds"]
+    cold_best = min(cold_s)
+
+    warm = CrawlDataset.from_detections(base)
+    _touch_indices(warm)
+    builds_before = warm.index_stats()["builds"]
+    incr_s = _timed(lambda: (warm.extend(delta), _touch_indices(warm)))
+    rebuilds = warm.index_stats()["builds"] - builds_before
+
+    reference = CrawlDataset.from_detections(base + delta)
+    assert warm.summary() == reference.summary()
+    assert warm.partner_site_counts() == reference.partner_site_counts()
+    assert warm.hb_latency_values() == reference.hb_latency_values()
+    assert rebuilds == 0, f"extend() rebuilt {rebuilds} indices"
+
+    return {
+        "dataset_detections": n + m,
+        "cold": {
+            "detections_per_s": round((n + m) / cold_best, 1),
+            "builds_per_pass": builds_per_pass,
+        },
+        "incremental": {
+            "delta_detections": m,
+            "detections_per_s": round(m / incr_s, 1),
+            "rebuilds_after_extend": rebuilds,
+        },
+        # What a live watcher pays per refresh: absorbing the delta into warm
+        # indices vs re-analysing the whole grown dataset from scratch.  This
+        # is the O(delta)-vs-O(n) ratio and grows with the dataset.
+        "refresh_speedup": round(cold_best / incr_s, 2),
+    }
+
+
+def bench_sink(environment, detector, publishers, detections, reps: int) -> dict:
+    many = detections * reps
+    out: dict = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+        timings = {}
+        for label, flush_every in (("unbuffered", 1), ("buffered", 64)):
+            path = tmp_path / f"{label}.jsonl"
+            sink = CrawlStorage(path).open_sink(flush_every=flush_every)
+            with sink:
+                elapsed = _timed(sink.write_many, many)
+            timings[label] = elapsed
+            out[label] = {
+                "flush_every": flush_every,
+                "detections_per_s": round(len(many) / elapsed, 1),
+                "flushes": sink.flushes,
+            }
+        assert (tmp_path / "unbuffered.jsonl").read_bytes() == (
+            tmp_path / "buffered.jsonl"
+        ).read_bytes()
+        out["speedup"] = round(timings["unbuffered"] / timings["buffered"], 2)
+
+        # The parallel-crawl benchmark streaming to a sink.  Page-load
+        # simulation dominates wall clock on this path, so the variants are
+        # compared by the time the crawl actually spends inside the sink
+        # (accumulated around every write()/flush() call) — that is the
+        # persistence cost of the crawl, measured exactly instead of being
+        # drowned in scheduler jitter.  Best-of across interleaved attempts
+        # on one warm pool.
+        class TimingSink:
+            def __init__(self, inner):
+                self.inner = inner
+                self.spent_s = 0.0
+
+            def write(self, detection):
+                start = time.perf_counter()
+                self.inner.write(detection)
+                self.spent_s += time.perf_counter() - start
+
+            def flush(self):
+                start = time.perf_counter()
+                self.inner.flush()
+                self.spent_s += time.perf_counter() - start
+
+        variants = {"unbuffered": 1, "buffered": 64}
+        sink_best: dict = {label: None for label in variants}
+        crawl_best: dict = {label: None for label in variants}
+        config = CrawlConfig(seed=SEED, workers=WORKERS, backend="thread")
+        with CrawlEngine(environment, detector, config) as engine:
+            engine.crawl(publishers)  # warm the pool; measure steady state
+            for _ in range(max(2, reps // 3)):
+                for label, flush_every in variants.items():
+                    path = tmp_path / f"crawl-{label}.jsonl"
+                    inner = CrawlStorage(path).open_sink(flush_every=flush_every)
+                    timing = TimingSink(inner)
+                    with inner:
+                        run_s = _timed(engine.crawl, publishers, sink=timing)
+                        timing.flush()
+                    if sink_best[label] is None or timing.spent_s < sink_best[label]:
+                        sink_best[label] = timing.spent_s
+                    if crawl_best[label] is None or run_s < crawl_best[label]:
+                        crawl_best[label] = run_s
+        assert (tmp_path / "crawl-unbuffered.jsonl").read_bytes() == (
+            tmp_path / "crawl-buffered.jsonl"
+        ).read_bytes()
+        n = len(publishers)
+        out["parallel_crawl"] = {
+            "pages": n,
+            "unbuffered_pages_per_s": round(n / crawl_best["unbuffered"], 1),
+            "buffered_pages_per_s": round(n / crawl_best["buffered"], 1),
+            "sink_time_ms": {
+                label: round(spent * 1e3, 2) for label, spent in sink_best.items()
+            },
+            # Crawl persistence cost, buffered vs unbuffered.
+            "sink_speedup": round(sink_best["unbuffered"] / sink_best["buffered"], 2),
+        }
+    return out
+
+
+def bench_match_host(detector, repeat: int) -> dict:
+    known = detector.known_partners
+    hosts = [f"sub{i % 7}.{domain}" for i, domain in enumerate(known.domains)]
+    hosts += [f"cdn{i}.unrelated-{i % 13}.example" for i in range(len(hosts))]
+    loops = 40
+
+    def run():
+        for _ in range(loops):
+            for host in hosts:
+                known.match_host(host)
+
+    # Cold: every lookup through the suffix walk (fresh caches each pass).
+    cold_list = build_known_partner_list(default_registry(seed=2019))
+    cold_hosts = hosts
+
+    def run_cold():
+        fresh = build_known_partner_list(default_registry(seed=2019))
+        for host in cold_hosts:
+            fresh.match_host(host)
+
+    build_s = min(_timed(build_known_partner_list, default_registry(seed=2019)) for _ in range(3))
+    cold_s = min(_timed(run_cold) for _ in range(max(1, repeat))) - build_s
+    cold_s = max(cold_s, 1e-9)
+    warm_s = min(_timed(run) for _ in range(max(1, repeat)))
+    assert cold_list.match_host(hosts[0]) == known.match_host(hosts[0])
+    return {
+        "hosts": len(hosts),
+        "uncached_lookups_per_s": round(len(hosts) / cold_s, 1),
+        "cached_lookups_per_s": round(len(hosts) * loops / warm_s, 1),
+        "cache": dict(known.match_cache_info()._asdict()),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_crawl_hotpath.json", help="report path")
+    parser.add_argument("--sites", type=int, default=240, help="sites per crawl")
+    parser.add_argument("--repeat", type=int, default=3, help="timed iterations (best-of)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="1 iteration over a tiny workload (CI rot check)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.sites, args.repeat = 60, 1
+
+    registry = default_registry(seed=2019)
+    population = generate_population(PopulationConfig(seed=7).scaled(max(args.sites, 60)), registry)
+    environment = AuctionEnvironment(registry=registry)
+    detector = HBDetector(build_known_partner_list(registry))
+    publishers = list(population)[: args.sites]
+
+    crawl = bench_crawl(environment, detector, publishers, args.repeat)
+    with CrawlEngine(environment, detector, CrawlConfig(seed=SEED)) as engine:
+        detections = engine.crawl(publishers).detections
+
+    report = {
+        "name": "crawl_hotpath",
+        "config": {
+            "sites": args.sites,
+            "workers": WORKERS,
+            "repeat": args.repeat,
+            "smoke": args.smoke,
+            "python": sys.version.split()[0],
+        },
+        "crawl": crawl,
+        "index": bench_index(detections, reps=3 if args.smoke else 30, repeat=args.repeat),
+        "sink": bench_sink(environment, detector, publishers, detections,
+                           reps=2 if args.smoke else 20),
+        "match_host": bench_match_host(detector, args.repeat),
+    }
+
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out_path}")
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,12 +7,17 @@ all auctions, all bids, grouping by facet / partner / rank, and the Table-1
 style summary counters.
 
 Every view is an *index*: it is built lazily on first access, cached, and
-invalidated when the dataset grows through :meth:`CrawlDataset.extend`.  The
-full all-figures analysis path therefore scans the detections a handful of
-times in total instead of once per metric.  Callers must treat returned
-lists and dicts as read-only; mutating them corrupts the cache.  If you
-append to :attr:`CrawlDataset.detections` directly instead of calling
-:meth:`extend`, call :meth:`invalidate_indices` afterwards.
+**maintained incrementally** when the dataset grows through
+:meth:`CrawlDataset.extend` — new detections are appended into every cached
+list/dict in place, so absorbing Δ records costs O(Δ) index work, not an
+O(n) rebuild, and a watcher tailing a live crawl never rebuilds an index
+(:meth:`index_stats` shows zero new builds after an extend; the metrics
+rendered on top still scan whatever data they report).  The incremental result is exactly what a from-scratch rebuild
+would produce; ``tests/test_incremental_indices.py`` asserts this for every
+index and every registered metric.  Callers must treat returned lists and
+dicts as read-only; mutating them corrupts the cache.  If you append to
+:attr:`CrawlDataset.detections` directly instead of calling :meth:`extend`,
+call :meth:`invalidate_indices` afterwards.
 """
 
 from __future__ import annotations
@@ -25,7 +30,20 @@ from repro.detector.records import ObservedAuction, ObservedBid, SiteDetection
 from repro.errors import EmptyDatasetError
 from repro.models import HBFacet
 
-__all__ = ["CrawlDataset"]
+__all__ = ["CrawlDataset", "UPDATABLE_INDEX_KEYS"]
+
+#: Base keys of every index :meth:`CrawlDataset.extend` knows how to update
+#: in place (tuple keys like ``("hb_latencies_by_rank_bin", n)`` match on
+#: their first element).  A cached key outside this set is evicted on extend
+#: and rebuilt lazily — correct but O(n) — so a new index accessor should be
+#: added here together with its ``_apply_delta`` updater; the incremental
+#: test suite cross-checks the two.
+UPDATABLE_INDEX_KEYS = frozenset({
+    "hb_detections", "sites", "hb_sites", "auctions", "bids", "priced_bids",
+    "by_facet", "auctions_by_facet", "bids_by_partner", "partner_site_counts",
+    "partner_popularity_ranking", "partner_latency_samples", "site_latencies",
+    "hb_latency_values", "hb_latencies_by_rank_bin", "crawl_days", "summary",
+})
 
 
 @dataclass
@@ -37,6 +55,9 @@ class CrawlDataset:
     label: str = "crawl"
     #: Lazily-built view cache; never compared or serialised.
     _indices: dict[Hashable, Any] = field(default_factory=dict, init=False, repr=False, compare=False)
+    #: Auxiliary incremental-update state (seen-domain sets etc.), built
+    #: alongside the index it serves and dropped with it.
+    _aux: dict[str, Any] = field(default_factory=dict, init=False, repr=False, compare=False)
     #: How many index builds have happened (cache misses); for benchmarks.
     _index_builds: int = field(default=0, init=False, repr=False, compare=False)
 
@@ -60,8 +81,13 @@ class CrawlDataset:
         return cls.from_detections(storage.iter_load(), label=label or Path(path).stem)
 
     def extend(self, detections: Iterable[SiteDetection]) -> None:
-        self.detections.extend(detections)
-        self.invalidate_indices()
+        """Append detections, updating every cached index in place (O(Δ))."""
+        new = list(detections)
+        if not new:
+            return
+        self.detections.extend(new)
+        if self._indices:
+            self._apply_delta(new)
 
     # -- index cache -------------------------------------------------------------
     def _index(self, key: Hashable, build: Callable[[], Any]) -> Any:
@@ -76,10 +102,158 @@ class CrawlDataset:
     def invalidate_indices(self) -> None:
         """Drop every cached view (call after mutating :attr:`detections`)."""
         self._indices.clear()
+        self._aux.clear()
 
     def index_stats(self) -> dict[str, int]:
         """Cache introspection: currently cached views and lifetime builds."""
         return {"cached": len(self._indices), "builds": self._index_builds}
+
+    # -- incremental maintenance ---------------------------------------------------
+    def _apply_delta(self, new: list[SiteDetection]) -> None:
+        """Fold ``new`` detections into every cached index.
+
+        Updates run in dependency order (visits → sites → auctions → bids →
+        groupers → summary), mirroring how each index's ``build`` derives
+        from the others; an index is only ever cached after its dependencies
+        (its build goes through their accessors), so every delta a dependent
+        needs is available by the time it updates.  Cached keys with no
+        updater — a future index added without one — are evicted and rebuilt
+        lazily, trading speed for correctness.
+        """
+        indices = self._indices
+        aux = self._aux
+        new_hb = [d for d in new if d.hb_detected]
+
+        if "hb_detections" in indices:
+            indices["hb_detections"].extend(new_hb)
+
+        if "sites" in indices:
+            seen = aux["site_domains"]
+            sites = indices["sites"]
+            for d in new:
+                if d.domain not in seen:
+                    seen.add(d.domain)
+                    sites.append(d)
+
+        new_hb_sites: list[SiteDetection] = []
+        if "hb_sites" in indices:
+            seen_hb = aux["hb_site_domains"]
+            hb_sites = indices["hb_sites"]
+            for d in new_hb:
+                if d.domain not in seen_hb:
+                    seen_hb.add(d.domain)
+                    hb_sites.append(d)
+                    new_hb_sites.append(d)
+
+        new_auctions = [auction for d in new_hb for auction in d.auctions]
+        if "auctions" in indices:
+            indices["auctions"].extend(new_auctions)
+
+        new_bids = [bid for auction in new_auctions for bid in auction.bids]
+        if "bids" in indices:
+            indices["bids"].extend(new_bids)
+        if "priced_bids" in indices:
+            indices["priced_bids"].extend(bid for bid in new_bids if bid.cpm is not None)
+
+        if "by_facet" in indices:
+            grouped = indices["by_facet"]
+            for d in new_hb_sites:
+                grouped[d.facet].append(d)
+        if "auctions_by_facet" in indices:
+            grouped = indices["auctions_by_facet"]
+            for auction in new_auctions:
+                grouped[auction.facet].append(auction)
+        if "bids_by_partner" in indices:
+            grouped = indices["bids_by_partner"]
+            for bid in new_bids:
+                grouped.setdefault(bid.partner, []).append(bid)
+
+        if "partner_site_counts" in indices:
+            counts = indices["partner_site_counts"]
+            for d in new_hb_sites:
+                for partner in d.partners:
+                    counts[partner] = counts.get(partner, 0) + 1
+        if "partner_popularity_ranking" in indices:
+            # Re-sorting is O(partners log partners) — bounded by the partner
+            # universe (~84), independent of the number of detections.
+            counts = indices["partner_site_counts"]
+            indices["partner_popularity_ranking"][:] = [
+                name for name, _ in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+            ]
+
+        if "partner_latency_samples" in indices:
+            samples = indices["partner_latency_samples"]
+            for d in new_hb:
+                for partner, latency in d.partner_latencies_ms.items():
+                    samples.setdefault(partner, []).append(float(latency))
+        if "site_latencies" in indices:
+            samples = indices["site_latencies"]
+            for d in new_hb:
+                if d.total_latency_ms is not None:
+                    samples.setdefault(d.domain, []).append(d.total_latency_ms)
+        if "hb_latency_values" in indices:
+            indices["hb_latency_values"].extend(
+                d.total_latency_ms
+                for d in new_hb
+                if d.total_latency_ms is not None and d.total_latency_ms > 0
+            )
+        for key in indices:
+            if isinstance(key, tuple) and key[0] == "hb_latencies_by_rank_bin":
+                bin_size = key[1]
+                grouped = indices[key]
+                for d in new_hb:
+                    if d.total_latency_ms is None or d.total_latency_ms <= 0:
+                        continue
+                    grouped.setdefault((d.rank - 1) // bin_size, []).append(d.total_latency_ms)
+
+        if "crawl_days" in indices:
+            days = aux["crawl_day_set"]
+            fresh_days = {d.crawl_day for d in new} - days
+            if fresh_days:
+                days.update(fresh_days)
+                indices["crawl_days"] = tuple(sorted(days))
+
+        if "summary" in indices:
+            # summary's build touches sites/hb_sites/auctions/bids/crawl_days,
+            # so all of them are cached and already delta-updated above.
+            partners = aux["summary_partners"]
+            for d in new_hb_sites:
+                partners.update(d.partners)
+            indices["summary"] = self._summary_snapshot(
+                sites=indices["sites"],
+                hb_sites=indices["hb_sites"],
+                n_auctions=len(indices["auctions"]),
+                n_bids=len(indices["bids"]),
+                days=indices["crawl_days"],
+                partners=partners,
+            )
+
+        for key in [k for k in indices if (
+            k[0] if isinstance(k, tuple) else k) not in UPDATABLE_INDEX_KEYS]:
+            del indices[key]
+
+    def _summary_snapshot(
+        self,
+        *,
+        sites: list[SiteDetection],
+        hb_sites: list[SiteDetection],
+        n_auctions: int,
+        n_bids: int,
+        days: tuple[int, ...],
+        partners: set[str],
+    ) -> dict[str, int | float]:
+        """The one summary-dict shape, shared by the cold and delta paths."""
+        return {
+            "websites_crawled": len(sites),
+            "websites_with_hb": len(hb_sites),
+            "adoption_rate": len(hb_sites) / len(sites) if sites else 0.0,
+            "auctions_detected": n_auctions,
+            "bids_detected": n_bids,
+            "competing_demand_partners": len(partners),
+            "crawl_days": len(days),
+            "crawl_weeks": max(1, round(len(days) / 7)) if days else 0,
+            "page_visits": len(self.detections),
+        }
 
     # -- basic protocol ----------------------------------------------------------
     def __len__(self) -> int:
@@ -108,6 +282,7 @@ class CrawlDataset:
             seen: dict[str, SiteDetection] = {}
             for detection in self.detections:
                 seen.setdefault(detection.domain, detection)
+            self._aux["site_domains"] = set(seen)
             return list(seen.values())
 
         return self._index("sites", build)
@@ -120,6 +295,7 @@ class CrawlDataset:
             for detection in self.detections:
                 if detection.hb_detected:
                     seen.setdefault(detection.domain, detection)
+            self._aux["hb_site_domains"] = set(seen)
             return list(seen.values())
 
         return self._index("hb_sites", build)
@@ -239,10 +415,12 @@ class CrawlDataset:
         return self._index(("hb_latencies_by_rank_bin", bin_size), build)
 
     def crawl_days(self) -> tuple[int, ...]:
-        return self._index(
-            "crawl_days",
-            lambda: tuple(sorted({detection.crawl_day for detection in self.detections})),
-        )
+        def build() -> tuple[int, ...]:
+            days = {detection.crawl_day for detection in self.detections}
+            self._aux["crawl_day_set"] = days
+            return tuple(sorted(days))
+
+        return self._index("crawl_days", build)
 
     # -- summary -------------------------------------------------------------------
     def summary(self) -> dict[str, int | float]:
@@ -254,22 +432,23 @@ class CrawlDataset:
         self._require_non_empty()
 
         def build() -> dict[str, int | float]:
+            # Goes through the accessors (never ._indices directly), which
+            # both computes the values and — on a caching dataset — ensures
+            # every component index is cached and delta-maintained before the
+            # summary snapshot derives from it.
             sites = self.sites()
             hb_sites = self.hb_sites()
-            all_bids = self.bids()
-            partners = {partner for detection in hb_sites for partner in detection.partners}
             days = self.crawl_days()
-            return {
-                "websites_crawled": len(sites),
-                "websites_with_hb": len(hb_sites),
-                "adoption_rate": len(hb_sites) / len(sites) if sites else 0.0,
-                "auctions_detected": len(self.auctions()),
-                "bids_detected": len(all_bids),
-                "competing_demand_partners": len(partners),
-                "crawl_days": len(days),
-                "crawl_weeks": max(1, round(len(days) / 7)) if days else 0,
-                "page_visits": len(self.detections),
-            }
+            partners = {partner for detection in hb_sites for partner in detection.partners}
+            self._aux["summary_partners"] = partners
+            return self._summary_snapshot(
+                sites=sites,
+                hb_sites=hb_sites,
+                n_auctions=len(self.auctions()),
+                n_bids=len(self.bids()),
+                days=days,
+                partners=partners,
+            )
 
         return dict(self._index("summary", build))
 

@@ -6,25 +6,32 @@ requested artefacts, which is the quickest way to see the pipeline working::
     hbrepro run --sites 2000 --days 1 --figures table1 adoption fig12 facet
     hbrepro run --sites 2000 --save crawl.jsonl --figures table1
     hbrepro analyze crawl.jsonl --artifact table1 fig12
+    hbrepro analyze crawl.jsonl --watch --interval 2
     hbrepro historical --sites 400
     hbrepro list
 
 Artefact names resolve through the central metric registry
 (:mod:`repro.analysis.registry`); ``analyze`` recomputes any dataset-only
-metric from a saved crawl without re-simulating the Web.
+metric from a saved crawl without re-simulating the Web.  ``analyze
+--watch`` tails a growing JSON-Lines sink (a crawl still running with
+``--save``) and re-renders the artefacts whenever new detections land; each
+refresh feeds only the new records into the dataset's incrementally
+maintained indices (index upkeep is O(new detections); rendering the chosen
+artefacts still scans their data).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
 
 from repro.analysis.context import AnalysisContext, CONTEXT_FIELDS
 from repro.analysis.dataset import CrawlDataset
 from repro.analysis.registry import available_metrics, compute_metric, iter_metrics
 from repro.crawler.engine import BACKEND_NAMES
-from repro.crawler.storage import CrawlStorage
+from repro.crawler.storage import CrawlStorage, DetectionSink
 from repro.errors import ReproError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentRunner
@@ -39,6 +46,20 @@ _HISTORICAL_CONTEXT = frozenset({"historical"})
 
 def _metric_names_for(provided: frozenset[str]) -> list[str]:
     return sorted(available_metrics(provided))
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -65,6 +86,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream detections to this JSON-Lines file as the crawl progresses",
     )
     run.add_argument(
+        "--flush-every", type=_positive_int, default=DetectionSink.DEFAULT_FLUSH_EVERY, metavar="N",
+        help="buffer N detections between --save file writes (1 = per record, "
+        "default %(default)s); bytes are identical for any value",
+    )
+    run.add_argument(
         "--figures",
         nargs="+",
         default=["table1", "adoption", "facet", "fig12"],
@@ -85,6 +111,18 @@ def build_parser() -> argparse.ArgumentParser:
         choices=_metric_names_for(_OFFLINE_CONTEXT),
         help="which artefacts to recompute (dataset-only metrics)",
     )
+    analyze.add_argument(
+        "--watch", action="store_true",
+        help="tail the file and re-render the artefacts as new detections land",
+    )
+    analyze.add_argument(
+        "--interval", type=_positive_float, default=2.0, metavar="SECONDS",
+        help="polling interval between tail reads in --watch mode",
+    )
+    analyze.add_argument(
+        "--watch-rounds", type=_positive_int, default=None, metavar="N",
+        help="stop --watch after N tail reads (default: watch until Ctrl-C)",
+    )
 
     historical = sub.add_parser("historical", help="run the Figure 4 historical adoption study")
     historical.add_argument("--sites", type=int, default=500, help="sites per yearly top list")
@@ -99,6 +137,57 @@ def _print_artifacts(names: Sequence[str], context: AnalysisContext) -> None:
         result = compute_metric(name, context)
         print(result.text)
         print()
+
+
+def _watch(
+    storage: CrawlStorage,
+    names: Sequence[str],
+    *,
+    interval: float,
+    rounds: int | None = None,
+) -> int:
+    """Tail ``storage`` and re-render ``names`` whenever detections arrive.
+
+    One crawl dataset lives across the whole watch: every tail read feeds
+    only the newly appended records into :meth:`CrawlDataset.extend`, so
+    index maintenance per refresh is O(delta) (re-rendering the requested
+    artefacts still scans their data).  If the file shrinks — the crawl was
+    restarted with a fresh sink — the watch restarts from an empty dataset
+    instead of stalling on a stale offset.  Runs until interrupted (or for
+    ``rounds`` tail reads when given, which is how tests and smoke runs
+    bound it).
+    """
+    dataset = CrawlDataset(label=storage.path.stem)
+    offset = 0
+    reads = 0
+    try:
+        while rounds is None or reads < rounds:
+            if reads > 0:
+                time.sleep(interval)
+            try:
+                new, offset = storage.read_new(offset)
+            except ReproError:
+                # The file shrank or changed under the watch (the crawl was
+                # restarted with a fresh sink, possibly already regrown past
+                # our offset).  A failure at offset 0 cannot be that race —
+                # the file itself is malformed — so let it surface.
+                if offset == 0:
+                    raise
+                print(f"=== {storage.path.name}: file changed, restarting watch ===\n")
+                dataset = CrawlDataset(label=storage.path.stem)
+                offset = 0
+                reads += 1
+                continue
+            reads += 1
+            if not new:
+                continue
+            dataset.extend(new)
+            print(f"=== {storage.path.name}: {len(dataset)} detections "
+                  f"(+{len(new)}) ===\n")
+            _print_artifacts(names, AnalysisContext.offline(dataset))
+    except KeyboardInterrupt:
+        pass
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -131,6 +220,11 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "analyze":
         try:
+            if args.watch:
+                return _watch(
+                    CrawlStorage(args.path), args.figures,
+                    interval=args.interval, rounds=args.watch_rounds,
+                )
             dataset = CrawlDataset.from_jsonl(args.path)
             _print_artifacts(args.figures, AnalysisContext.offline(dataset))
         except ReproError as exc:
@@ -144,6 +238,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         seed=args.seed,
         workers=args.workers,
         crawl_backend=args.backend,
+        sink_flush_every=args.flush_every,
     )
     storage = CrawlStorage(args.save) if args.save else None
     artifacts = ExperimentRunner(config).run(storage=storage)

@@ -143,6 +143,16 @@ class Crawler:
             environment, detector, self.config, backend=backend
         )
 
+    def close(self) -> None:
+        """Release the engine's pooled workers (idempotent)."""
+        self.engine.close()
+
+    def __enter__(self) -> "Crawler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     def crawl(
         self,
         publishers: Sequence[Publisher] | PublisherPopulation,

@@ -8,17 +8,33 @@ sites.  This module splits a publisher list into deterministic shards
 the per-shard :class:`~repro.crawler.crawler.CrawlResult` objects back in
 canonical site order.
 
+Worker-scoped environment reuse
+-------------------------------
+Workers do **not** receive the environment and detector per shard.  Each
+backend builds a :class:`WorkerContext` once per worker — at pool start via
+the executor ``initializer`` hook — and shard tasks then ship only the
+:class:`CrawlShard` descriptor plus the visit index.  On the process backend
+the environment/detector payload is pickled exactly once per worker process
+(instead of once per shard per crawl); on the thread backend each worker
+thread owns one cheap :meth:`~repro.detector.detector.HBDetector.clone`
+(instead of a ``copy.deepcopy`` per shard).  Pools persist across
+:meth:`CrawlEngine.crawl` calls, so a 34-day longitudinal campaign pays the
+worker setup cost once, not once per day.  Call :meth:`CrawlEngine.close`
+(or use the engine as a context manager) to release pool workers.
+
 Determinism guarantee
 ---------------------
 Every page load derives its RNG stream from ``(seed, domain, visit_index)``
 (see :meth:`repro.browser.engine.BrowserEngine.load`), never from crawl
-order or shared session state.  Shards are contiguous chunks of the input
-list and each shard additionally carries a seed derived from
-``(seed, "shard", index)`` for shard-local bookkeeping, so the plan itself is
-a pure function of ``(sites, workers, seed)``.  Merging shard results in
-shard-index order therefore reproduces the serial detection sequence exactly:
-a crawl with ``workers=1`` and ``workers=8`` produces byte-identical
-serialised detections.
+order, worker identity or shared session state.  Shards are contiguous
+chunks of the input list and each shard additionally carries a seed derived
+from ``(seed, "shard", index)`` for shard-local bookkeeping, so the plan
+itself is a pure function of ``(sites, workers, seed)``.  Merging shard
+results in shard-index order therefore reproduces the serial detection
+sequence exactly: a crawl with ``workers=1`` and ``workers=8`` produces
+byte-identical serialised detections, and reusing workers across shards or
+crawls cannot change the bytes because the detector is reset at every shard
+boundary and carries no cross-page state.
 
 Streaming
 ---------
@@ -27,15 +43,16 @@ Streaming
 Detections are streamed to the sink in canonical order, instead of buffering
 the whole crawl before persisting anything: the serial backend streams after
 every page, pool backends stream each shard as soon as every earlier shard
-has completed.
+has completed.  If the sink exposes a ``flush()`` method (buffered sinks do),
+the engine calls it at every shard boundary, so a buffered sink never holds
+more than one shard's tail of detections in memory.
 """
 
 from __future__ import annotations
 
-import copy
+import threading
 from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, ThreadPoolExecutor, wait
 from dataclasses import dataclass
-from functools import partial
 from typing import Callable, Iterable, Iterator, Protocol, Sequence
 
 from repro.crawler.crawler import BACKEND_NAMES, CrawlConfig, CrawlResult, ProgressCallback
@@ -50,6 +67,7 @@ from repro.utils.rng import stable_hash
 __all__ = [
     "CrawlShard",
     "CrawlPlan",
+    "WorkerContext",
     "ExecutionBackend",
     "SerialBackend",
     "ThreadPoolBackend",
@@ -132,33 +150,45 @@ class CrawlPlan:
 
 
 # ---------------------------------------------------------------------------
-# The per-shard worker
+# The per-worker context and the per-shard worker
 
-ShardTask = Callable[[CrawlShard], CrawlResult]
+
+@dataclass
+class WorkerContext:
+    """Crawl state one worker owns for its whole lifetime.
+
+    Built once per worker (not once per shard): the serial backend wraps the
+    caller's own objects, the thread backend clones the detector per worker
+    thread, and the process backend ships the context to each worker process
+    exactly once through the executor initializer.
+    """
+
+    environment: AuctionEnvironment
+    detector: HBDetector
+    config: CrawlConfig
 
 
 def _crawl_shard(
-    environment: AuctionEnvironment,
-    detector: HBDetector,
-    config: CrawlConfig,
+    context: WorkerContext,
     crawl_day: int,
-    isolate_detector: bool,
     on_detection: Callable[[SiteDetection], None] | None,
     shard: CrawlShard,
 ) -> CrawlResult:
-    """Crawl one shard with its own session/detector pair.
+    """Crawl one shard using the worker's long-lived context.
 
-    Module-level (not a closure) so :class:`ProcessPoolBackend` can pickle it.
-    Sessions are created lazily: after a timeout or a scheduled restart the
-    replacement is only spawned if another site remains, so the final page of
-    a shard never bumps ``sessions_started`` for a session that loads nothing.
+    The detector is reset at shard start, so reusing one worker for many
+    shards (or many crawl days) is observationally identical to giving every
+    shard a fresh detector.  Sessions are created lazily: after a timeout or
+    a scheduled restart the replacement is only spawned if another site
+    remains, so the final page of a shard never bumps ``sessions_started``
+    for a session that loads nothing.
 
     ``on_detection`` fires after every page; backends that run shards inline
     in the calling thread (``streams_inline``) use it for page-granular
     streaming, pool backends pass ``None`` and stream per completed shard.
     """
-    if isolate_detector:
-        detector = copy.deepcopy(detector)
+    environment, detector, config = context.environment, context.detector, context.config
+    detector.reset()
     result = CrawlResult()
     session: CrawlSession | None = None
     for publisher in shard.publishers:
@@ -190,6 +220,47 @@ def _crawl_shard(
     return result
 
 
+#: Per-process worker context, populated by the process pool initializer.
+#: Lives at module scope so shard tasks reach it without any per-task payload.
+_PROCESS_CONTEXT: WorkerContext | None = None
+
+
+def _init_process_worker(
+    environment: AuctionEnvironment, detector: HBDetector, config: CrawlConfig
+) -> None:
+    """Process pool initializer: unpickle the context once per worker process."""
+    global _PROCESS_CONTEXT
+    _PROCESS_CONTEXT = WorkerContext(environment=environment, detector=detector, config=config)
+
+
+def _run_shard_in_process(shard: CrawlShard, crawl_day: int) -> CrawlResult:
+    """Entry point for process-pool shard tasks (only the descriptor ships)."""
+    context = _PROCESS_CONTEXT
+    if context is None:  # pragma: no cover - initializer always runs first
+        raise RuntimeError("process worker used before its context was initialised")
+    return _crawl_shard(context, crawl_day, None, shard)
+
+
+def _init_thread_worker(local: threading.local, prototype: WorkerContext) -> None:
+    """Thread pool initializer: give the worker thread its own detector clone."""
+    local.context = WorkerContext(
+        environment=prototype.environment,
+        detector=prototype.detector.clone(),
+        config=prototype.config,
+    )
+
+
+def _run_shard_in_thread(
+    local: threading.local, prototype: WorkerContext, shard: CrawlShard, crawl_day: int
+) -> CrawlResult:
+    """Entry point for thread-pool shard tasks, using the thread's context."""
+    context = getattr(local, "context", None)
+    if context is None:  # pragma: no cover - defensive: initializer always runs
+        _init_thread_worker(local, prototype)
+        context = local.context
+    return _crawl_shard(context, crawl_day, None, shard)
+
+
 # ---------------------------------------------------------------------------
 # Execution backends
 
@@ -198,94 +269,193 @@ class ExecutionBackend(Protocol):
     """Strategy for running shard tasks; yields results in completion order."""
 
     name: str
-    #: Whether shard workers share the calling process' memory, in which case
-    #: the engine hands each worker a deep-copied detector.
-    shares_memory: bool
     #: Whether shards run inline in the calling thread, in shard order — in
     #: which case the engine streams detections page by page through the
     #: worker's ``on_detection`` hook instead of per completed shard.
     streams_inline: bool
 
+    def prepare(self, context: WorkerContext) -> None:
+        """Install the crawl state workers will reuse across shards/crawls."""
+        ...
+
     def execute(
-        self, task: ShardTask, shards: Sequence[CrawlShard]
+        self,
+        shards: Sequence[CrawlShard],
+        crawl_day: int,
+        on_detection: Callable[[SiteDetection], None] | None,
     ) -> Iterator[tuple[int, CrawlResult]]:
-        """Run ``task`` over every shard, yielding ``(shard_index, result)``."""
+        """Run every shard, yielding ``(shard_index, result)``."""
+        ...
+
+    def shutdown(self) -> None:
+        """Release any pooled workers (idempotent)."""
         ...
 
 
 class SerialBackend:
-    """Run shards one after another in the calling thread (the default)."""
+    """Run shards one after another in the calling thread (the default).
+
+    The single worker is the caller itself, so the context wraps the engine's
+    own environment/detector without any copy — exactly the paper's
+    sequential crawl.
+    """
 
     name = "serial"
-    shares_memory = False  # single caller-owned worker; no copy needed
     streams_inline = True
 
+    def __init__(self) -> None:
+        self._context: WorkerContext | None = None
+
+    def prepare(self, context: WorkerContext) -> None:
+        self._context = context
+
     def execute(
-        self, task: ShardTask, shards: Sequence[CrawlShard]
+        self,
+        shards: Sequence[CrawlShard],
+        crawl_day: int,
+        on_detection: Callable[[SiteDetection], None] | None,
     ) -> Iterator[tuple[int, CrawlResult]]:
+        if self._context is None:
+            raise ConfigurationError("backend used before prepare()")
         for shard in shards:
-            yield shard.index, task(shard)
+            yield shard.index, _crawl_shard(self._context, crawl_day, on_detection, shard)
+
+    def shutdown(self) -> None:
+        self._context = None
 
 
 class _ExecutorBackend:
-    """Shared machinery for ``concurrent.futures`` based backends."""
+    """Shared machinery for ``concurrent.futures`` based backends.
+
+    The executor is created lazily on first use and then *persists* across
+    ``execute()`` calls, so per-worker setup (context build, environment
+    pickling) happens once per worker for the backend's whole lifetime
+    instead of once per crawl.  ``shutdown()`` releases the pool.
+    """
 
     name = "executor"
-    shares_memory = True
     streams_inline = False
 
     def __init__(self, max_workers: int | None = None) -> None:
         if max_workers is not None and max_workers < 1:
             raise ConfigurationError("a pool backend needs at least one worker")
         self.max_workers = max_workers
+        self._context: WorkerContext | None = None
+        self._executor: Executor | None = None
+        self._pool_size = 0
 
-    def _make_executor(self, n_shards: int) -> Executor:
+    def prepare(self, context: WorkerContext) -> None:
+        if self._context is not None and self._executor is not None:
+            if self._context is not context and (
+                self._context.environment is not context.environment
+                or self._context.detector is not context.detector
+                or self._context.config != context.config
+            ):
+                # A live pool was initialised with different crawl state
+                # (workers read seed/timeouts from the context they were
+                # built with); a silent swap would keep crawling with the
+                # old one.
+                raise ConfigurationError(
+                    "cannot reuse a running pool backend with a different "
+                    "environment/detector/config; call shutdown() first"
+                )
+            return
+        self._context = context
+
+    def _make_executor(self, context: WorkerContext, workers: int) -> Executor:
+        raise NotImplementedError
+
+    def _submit(self, executor: Executor, shard: CrawlShard, crawl_day: int):
         raise NotImplementedError
 
     def execute(
-        self, task: ShardTask, shards: Sequence[CrawlShard]
+        self,
+        shards: Sequence[CrawlShard],
+        crawl_day: int,
+        on_detection: Callable[[SiteDetection], None] | None,
     ) -> Iterator[tuple[int, CrawlResult]]:
+        if self._context is None:
+            raise ConfigurationError("backend used before prepare()")
         if not shards:
             return
-        with self._make_executor(len(shards)) as executor:
-            futures = {executor.submit(task, shard): shard.index for shard in shards}
-            pending = set(futures)
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    yield futures[future], future.result()
+        desired = min(self.max_workers or len(shards), len(shards))
+        if self._executor is not None and desired > self._pool_size:
+            # The live pool was sized by a smaller earlier crawl (e.g. a
+            # warm-up); grow it rather than capping parallelism forever.
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self._executor is None:
+            self._pool_size = desired
+            self._executor = self._make_executor(self._context, desired)
+        futures = {self._submit(self._executor, shard, crawl_day): shard.index for shard in shards}
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                yield futures[future], future.result()
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self._pool_size = 0
+        self._context = None
+
+    def __enter__(self) -> "_ExecutorBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
 
 
 class ThreadPoolBackend(_ExecutorBackend):
-    """Fan shards out to a thread pool.
+    """Fan shards out to a persistent thread pool.
 
     Page-load simulation is numpy-heavy enough that threads overlap some
     work; more importantly the backend exercises the exact fan-out/merge
     path of :class:`ProcessPoolBackend` without pickling, making it the
-    cheap way to test parallel semantics.
+    cheap way to test parallel semantics.  Each worker thread owns one
+    detector clone for its whole lifetime (built by the pool initializer),
+    replacing the old per-shard ``copy.deepcopy``.
     """
 
     name = "thread"
-    shares_memory = True
 
-    def _make_executor(self, n_shards: int) -> Executor:
-        workers = self.max_workers or n_shards
-        return ThreadPoolExecutor(max_workers=min(workers, n_shards))
+    def __init__(self, max_workers: int | None = None) -> None:
+        super().__init__(max_workers)
+        self._local = threading.local()
+
+    def _make_executor(self, context: WorkerContext, workers: int) -> Executor:
+        return ThreadPoolExecutor(
+            max_workers=workers,
+            initializer=_init_thread_worker,
+            initargs=(self._local, context),
+        )
+
+    def _submit(self, executor: Executor, shard: CrawlShard, crawl_day: int):
+        return executor.submit(_run_shard_in_thread, self._local, self._context, shard, crawl_day)
 
 
 class ProcessPoolBackend(_ExecutorBackend):
-    """Fan shards out to worker processes (true CPU parallelism).
+    """Fan shards out to persistent worker processes (true CPU parallelism).
 
-    Every task ships the environment, detector and config to the worker via
-    pickle, so each process owns fully isolated copies.
+    The environment/detector/config payload is pickled exactly once per
+    worker process — by the pool initializer — after which shard tasks ship
+    only their :class:`CrawlShard` descriptor and the visit index.  Worker
+    processes are fully isolated from the caller by construction.
     """
 
     name = "process"
-    shares_memory = False  # pickling already isolates state
 
-    def _make_executor(self, n_shards: int) -> Executor:
-        workers = self.max_workers or n_shards
-        return ProcessPoolExecutor(max_workers=min(workers, n_shards))
+    def _make_executor(self, context: WorkerContext, workers: int) -> Executor:
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_process_worker,
+            initargs=(context.environment, context.detector, context.config),
+        )
+
+    def _submit(self, executor: Executor, shard: CrawlShard, crawl_day: int):
+        return executor.submit(_run_shard_in_process, shard, crawl_day)
 
 
 def backend_from_name(name: str, *, workers: int | None = None) -> ExecutionBackend:
@@ -306,7 +476,11 @@ def backend_from_name(name: str, *, workers: int | None = None) -> ExecutionBack
 
 
 class DetectionSinkLike(Protocol):
-    """Anything detections can be streamed to (see ``CrawlStorage.open_sink``)."""
+    """Anything detections can be streamed to (see ``CrawlStorage.open_sink``).
+
+    Sinks may additionally expose ``flush()``; the engine then flushes at
+    every shard boundary (and buffered sinks flush themselves on close).
+    """
 
     def write(self, detection: SiteDetection) -> None: ...
 
@@ -317,13 +491,18 @@ class CrawlEngine:
     Parameters
     ----------
     environment / detector:
-        The simulated demand side and the detection tool; workers receive
-        their own copies whenever they share memory with the caller.
+        The simulated demand side and the detection tool; each worker builds
+        its own long-lived context from them (clone per thread, one pickled
+        copy per process) instead of receiving copies per shard.
     config:
         Operational crawl parameters; ``config.workers`` and
         ``config.backend`` choose the default execution strategy.
     backend:
         Explicit backend instance, overriding the config-derived one.
+
+    Pool backends keep their workers alive between :meth:`crawl` calls;
+    call :meth:`close` (or use ``with CrawlEngine(...) as engine:``) to
+    release them deterministically.
     """
 
     def __init__(
@@ -339,12 +518,25 @@ class CrawlEngine:
         self.backend = backend or backend_from_name(
             self.config.backend, workers=self.config.workers
         )
+        self._context = WorkerContext(
+            environment=self.environment, detector=self.detector, config=self.config
+        )
 
     def plan(self, publishers: Sequence[Publisher] | PublisherPopulation) -> CrawlPlan:
         """The shard plan this engine would use for ``publishers``."""
         return CrawlPlan.build(
             publishers, workers=self.config.workers, seed=self.config.seed
         )
+
+    def close(self) -> None:
+        """Release pooled workers (safe to call twice; engine reusable after)."""
+        self.backend.shutdown()
+
+    def __enter__(self) -> "CrawlEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def crawl(
         self,
@@ -359,7 +551,8 @@ class CrawlEngine:
         Detections reach ``progress`` and ``sink`` incrementally, always in
         canonical site order: page by page on inline backends (serial), and
         shard by shard — as soon as every earlier shard has completed — on
-        pool backends.
+        pool backends.  Sinks with a ``flush()`` method are flushed at every
+        shard boundary.
         """
         plan = self.plan(publishers)
         emitted = 0
@@ -373,29 +566,28 @@ class CrawlEngine:
                 progress(emitted, plan.n_sites, detection)
 
         inline = self.backend.streams_inline
-        task = partial(
-            _crawl_shard,
-            self.environment,
-            self.detector,
-            self.config,
-            crawl_day,
-            self.backend.shares_memory,
-            emit if inline else None,
-        )
+        self.backend.prepare(self._context)
+        sink_flush = getattr(sink, "flush", None) if sink is not None else None
         # `execute` yields in completion order; shards are emitted (and
         # ultimately merged) in shard order, holding back any that finish
         # early. Every shard is yielded exactly once, so `ordered` is
         # complete when the loop ends.
         ordered: list[CrawlResult] = []
         early: dict[int, CrawlResult] = {}
-        for shard_index, shard_result in self.backend.execute(task, plan.shards):
+        for shard_index, shard_result in self.backend.execute(
+            plan.shards, crawl_day, emit if inline else None
+        ):
             early[shard_index] = shard_result
+            at_boundary = False
             while len(ordered) in early:
                 ready = early.pop(len(ordered))
                 if not inline:
                     for detection in ready.detections:
                         emit(detection)
                 ordered.append(ready)
+                at_boundary = True
+            if at_boundary and sink_flush is not None:
+                sink_flush()
         return CrawlResult.merged(ordered)
 
     def crawl_domains(

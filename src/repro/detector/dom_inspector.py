@@ -40,7 +40,7 @@ _RENDER_EVENTS: frozenset[str] = frozenset(
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _ObservedDomBid:
     """A bid reported by a ``bidResponse`` or ``bidWon`` event."""
 

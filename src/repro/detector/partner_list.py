@@ -14,6 +14,7 @@ same limitation the paper discusses for libraries it did not analyse.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterable, Iterator, Mapping
 
 import numpy as np
@@ -25,7 +26,7 @@ from repro.utils.rng import derive_rng
 __all__ = ["KnownPartnerList", "build_known_partner_list"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _KnownPartner:
     """One entry of the curated list."""
 
@@ -37,6 +38,11 @@ class _KnownPartner:
 class KnownPartnerList:
     """Domain → partner lookup used by the web-request inspector."""
 
+    #: Size of the per-instance host-lookup cache.  A crawl sees the same
+    #: partner endpoints over and over (one lookup per observed request), so
+    #: even a modest cache absorbs nearly every repeated host.
+    MATCH_CACHE_SIZE = 4096
+
     def __init__(self, entries: Iterable[_KnownPartner]) -> None:
         self._entries = tuple(entries)
         if not self._entries:
@@ -47,6 +53,22 @@ class KnownPartnerList:
             self._by_bidder_code[entry.bidder_code] = entry
             for domain in entry.domains:
                 self._by_domain[domain.lower()] = entry
+        # No listed domain is deeper than this many labels, so a host can
+        # only match through its last `_max_match_depth` labels — the suffix
+        # walk short-circuits instead of trying every ancestor.
+        self._max_match_depth = max(
+            (domain.count(".") + 1 for domain in self._by_domain), default=0
+        )
+        # The list is immutable after construction, so memoising lookups is
+        # safe (and thread-safe: lru_cache locks internally).
+        self._match_host_cached = lru_cache(maxsize=self.MATCH_CACHE_SIZE)(
+            self._match_host_uncached
+        )
+
+    def __reduce__(self) -> tuple:
+        # The lru_cache wrapper is unpicklable; rebuild from the entries so
+        # the detector (which owns this list) can ship to process workers.
+        return (type(self), (self._entries,))
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -67,17 +89,29 @@ class KnownPartnerList:
         """Return the partner name owning ``host``, if any.
 
         Subdomains match their parent domain, e.g. ``ib.adnxs.com`` matches the
-        ``adnxs.com`` entry.
+        ``adnxs.com`` entry.  Called once per observed web request, so lookups
+        are memoised per host and the suffix walk is bounded by the deepest
+        listed domain instead of the host's own label count.
         """
-        host = host.lower()
-        if host in self._by_domain:
-            return self._by_domain[host].name
+        return self._match_host_cached(host.lower())
+
+    def _match_host_uncached(self, host: str) -> str | None:
+        by_domain = self._by_domain
+        entry = by_domain.get(host)
+        if entry is not None:
+            return entry.name
         parts = host.split(".")
-        for start in range(1, len(parts) - 1):
-            candidate = ".".join(parts[start:])
-            if candidate in self._by_domain:
-                return self._by_domain[candidate].name
+        # Suffixes deeper than the deepest listed domain cannot be on the
+        # list; start the walk at the shallowest suffix that still could be.
+        for start in range(max(1, len(parts) - self._max_match_depth), len(parts) - 1):
+            entry = by_domain.get(".".join(parts[start:]))
+            if entry is not None:
+                return entry.name
         return None
+
+    def match_cache_info(self):
+        """Hit/miss statistics of the host-lookup cache (for benchmarks)."""
+        return self._match_host_cached.cache_info()
 
     def name_for_bidder_code(self, bidder_code: str) -> str | None:
         """Resolve a wrapper-level bidder code (e.g. ``"appnexus"``) to a name."""

@@ -16,7 +16,7 @@ from repro.models import HBFacet
 __all__ = ["ObservedBid", "ObservedAuction", "SiteDetection"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ObservedBid:
     """One bid the detector could attribute to a partner on a page."""
 
@@ -39,7 +39,7 @@ class ObservedBid:
             raise DetectionError(f"unknown bid source {self.source!r}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ObservedAuction:
     """One ad-slot auction reconstructed from the page's activity."""
 
@@ -79,7 +79,7 @@ class ObservedAuction:
         return winners[0] if winners else None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SiteDetection:
     """Everything the detector learned about one page load."""
 

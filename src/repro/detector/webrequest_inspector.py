@@ -21,7 +21,7 @@ from repro.utils.urls import url_host
 __all__ = ["WebRequestObservations", "PartnerExchange", "WebRequestInspector"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PartnerExchange:
     """One request/response pair attributed to a known HB partner."""
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.crawler.crawler import CrawlConfig
+from repro.crawler.storage import DetectionSink
 from repro.ecosystem.publishers import PopulationConfig
 from repro.errors import ConfigurationError
 
@@ -43,6 +44,10 @@ class ExperimentConfig:
     #: Crawl execution backend: ``"serial"``, ``"thread"`` or ``"process"``.
     #: Detections are byte-identical across backends and worker counts.
     crawl_backend: str = "serial"
+    #: How many detections a streaming ``--save`` sink buffers between file
+    #: writes (``1`` = write-and-flush per record).  Purely operational: the
+    #: saved bytes are identical for any value.
+    sink_flush_every: int = DetectionSink.DEFAULT_FLUSH_EVERY
 
     def __post_init__(self) -> None:
         if self.total_sites < 10:
@@ -57,6 +62,8 @@ class ExperimentConfig:
             raise ConfigurationError("the historical study needs at least 10 sites")
         if not self.historical_years:
             raise ConfigurationError("the historical study needs at least one year")
+        if self.sink_flush_every < 1:
+            raise ConfigurationError("sink_flush_every must be >= 1")
         # workers / crawl_backend validation lives in CrawlConfig; building
         # the crawl config surfaces any error at construction time.
         self.crawl_config()

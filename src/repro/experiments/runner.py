@@ -141,11 +141,17 @@ class ExperimentRunner:
         detector = self.build_detector(population)
         crawler = Crawler(environment, detector, self.config.crawl_config())
         scheduler = LongitudinalScheduler(crawler, recrawl_days=self.config.recrawl_days)
-        if storage is not None:
-            with storage.open_sink() as sink:
-                longitudinal = scheduler.run(population, sink=sink)
-        else:
-            longitudinal = scheduler.run(population)
+        try:
+            # Pool workers persist across the discovery pass and every daily
+            # re-crawl (their environment/detector ships once per worker, not
+            # once per shard); release them when the campaign is done.
+            if storage is not None:
+                with storage.open_sink(flush_every=self.config.sink_flush_every) as sink:
+                    longitudinal = scheduler.run(population, sink=sink)
+            else:
+                longitudinal = scheduler.run(population)
+        finally:
+            crawler.close()
         dataset = CrawlDataset.from_detections(
             longitudinal.all_detections, label=f"crawl-{self.config.total_sites}"
         )

@@ -35,7 +35,7 @@ __all__ = [
 _SIZE_RE = re.compile(r"^\s*(\d+)\s*[xX]\s*(\d+)\s*$")
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class AdSlotSize:
     """A display ad creative size in CSS pixels, e.g. ``300x250``."""
 
@@ -94,7 +94,7 @@ STANDARD_SIZES: tuple[AdSlotSize, ...] = (
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AdSlot:
     """An ad placement on a publisher page.
 
@@ -183,7 +183,7 @@ class RequestDirection(str, enum.Enum):
         return self.value
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DomEvent:
     """A DOM-level event observed on a page.
 
@@ -207,7 +207,7 @@ class DomEvent:
         return self.payload.get(key, default)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WebRequest:
     """A single entry in the browser's web-request log.
 
@@ -247,7 +247,7 @@ class WebRequest:
         return False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PageTimings:
     """High-level navigation timings of a simulated page load."""
 

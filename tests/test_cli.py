@@ -68,3 +68,101 @@ class TestParallelCli:
         from repro.crawler.storage import CrawlStorage
         detections = CrawlStorage(out).load()
         assert len(detections) == 400
+
+
+class TestWatchCli:
+    def test_watch_flags_parse(self):
+        args = build_parser().parse_args(
+            ["analyze", "crawl.jsonl", "--watch", "--interval", "0.5", "--watch-rounds", "3"])
+        assert args.watch is True
+        assert args.interval == 0.5
+        assert args.watch_rounds == 3
+        defaults = build_parser().parse_args(["analyze", "crawl.jsonl"])
+        assert (defaults.watch, defaults.interval, defaults.watch_rounds) == (False, 2.0, None)
+
+    def test_flush_every_parses_and_threads_through(self):
+        args = build_parser().parse_args(["run", "--flush-every", "1"])
+        assert args.flush_every == 1
+        assert build_parser().parse_args(["run"]).flush_every == 64
+
+    def test_watch_renders_same_artifacts_as_plain_analyze(self, capsys, tmp_path):
+        out = tmp_path / "crawl.jsonl"
+        assert main(["run", "--sites", "400", "--days", "0", "--seed", "7",
+                     "--save", str(out), "--figures", "table1"]) == 0
+        capsys.readouterr()
+
+        assert main(["analyze", str(out), "--artifact", "table1", "adoption"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["analyze", str(out), "--watch", "--interval", "0.01",
+                     "--watch-rounds", "2", "--artifact", "table1", "adoption"]) == 0
+        watched = capsys.readouterr().out
+        # One render (round 2 sees no new data), preceded by a progress header.
+        assert watched.count("=== crawl.jsonl: 400 detections (+400) ===") == 1
+        assert watched.endswith(plain)
+
+    def test_watch_tails_a_growing_file(self, capsys, tmp_path):
+        """New detections appended between polls trigger a fresh render."""
+        import threading
+        import time as time_mod
+
+        from repro.crawler.storage import CrawlStorage
+        from tests.test_crawler_storage import sample_detection
+
+        path = tmp_path / "crawl.jsonl"
+        storage = CrawlStorage(path)
+        storage.save([sample_detection("first.example")])
+
+        def late_append():
+            time_mod.sleep(0.25)
+            storage.append([sample_detection("second.example", day=1)])
+
+        writer = threading.Thread(target=late_append)
+        writer.start()
+        try:
+            assert main(["analyze", str(path), "--watch", "--interval", "0.1",
+                         "--watch-rounds", "12", "--artifact", "table1"]) == 0
+        finally:
+            writer.join()
+        out = capsys.readouterr().out
+        assert "1 detections (+1)" in out
+        assert "2 detections (+1)" in out
+
+    def test_watch_on_missing_file_waits_quietly(self, capsys, tmp_path):
+        assert main(["analyze", str(tmp_path / "nope.jsonl"), "--watch",
+                     "--interval", "0.01", "--watch-rounds", "2"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_watch_restarts_when_the_file_is_truncated(self, capsys, tmp_path):
+        """A crawl restarted with a fresh sink resets the watch dataset."""
+        import threading
+        import time as time_mod
+
+        from repro.crawler.storage import CrawlStorage
+        from tests.test_crawler_storage import sample_detection
+
+        path = tmp_path / "crawl.jsonl"
+        storage = CrawlStorage(path)
+        storage.save([sample_detection(f"old{i}.example") for i in range(3)])
+
+        def restart_crawl():
+            time_mod.sleep(0.25)
+            storage.save([sample_detection("new.example")])  # truncating rewrite
+
+        writer = threading.Thread(target=restart_crawl)
+        writer.start()
+        try:
+            assert main(["analyze", str(path), "--watch", "--interval", "0.1",
+                         "--watch-rounds", "12", "--artifact", "table1"]) == 0
+        finally:
+            writer.join()
+        out = capsys.readouterr().out
+        assert "3 detections (+3)" in out
+        assert "file changed, restarting watch" in out
+        assert "1 detections (+1)" in out
+
+    def test_invalid_numeric_flags_fail_cleanly(self):
+        for argv in (["run", "--flush-every", "0"],
+                     ["analyze", "x.jsonl", "--watch", "--interval", "-1"],
+                     ["analyze", "x.jsonl", "--watch", "--watch-rounds", "0"]):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(argv)

@@ -16,6 +16,7 @@ from repro.crawler.engine import (
 )
 from repro.crawler.scheduler import LongitudinalScheduler
 from repro.crawler.storage import CrawlStorage, detection_to_dict
+from repro.detector.detector import HBDetector
 from repro.detector.records import SiteDetection
 from repro.errors import ConfigurationError
 
@@ -251,6 +252,182 @@ class TestSessionAccounting:
         result = crawler.crawl([])
         assert result.sessions_started == 0
         assert result.pages_visited == 0
+
+
+class TestWorkerReuse:
+    """Workers build their environment/detector once, not once per shard."""
+
+    class CountingDetector(HBDetector):
+        def __init__(self, known):
+            super().__init__(known)
+            self.clones = 0
+            self.resets = 0
+
+        def clone(self):
+            self.clones += 1
+            return HBDetector(self.known_partners)
+
+        def reset(self):
+            self.resets += 1
+            super().reset()
+
+    @pytest.fixture()
+    def counting_detector(self, detector):
+        return self.CountingDetector(detector.known_partners)
+
+    def test_thread_workers_clone_detector_once_per_worker(
+        self, environment, counting_detector, small_population
+    ):
+        sites = list(small_population)[:24]
+        with CrawlEngine(
+            environment, counting_detector, CrawlConfig(seed=5, workers=3, backend="thread")
+        ) as engine:
+            for _ in range(3):  # three crawls over the same persistent pool
+                engine.crawl(sites)
+        # One clone per worker thread for the engine's lifetime — previously
+        # one deep copy per shard per crawl (3 shards x 3 crawls = 9 copies).
+        assert 1 <= counting_detector.clones <= 3
+        assert counting_detector.resets == 0  # shards reset the clones instead
+
+    def test_serial_backend_resets_shared_detector_per_shard(
+        self, environment, counting_detector, small_population
+    ):
+        engine = CrawlEngine(environment, counting_detector, CrawlConfig(seed=5))
+        engine.crawl(list(small_population)[:6])
+        assert counting_detector.clones == 0
+        assert counting_detector.resets == 1  # one shard on the serial path
+
+    def test_pool_persists_across_crawls_and_close_releases_it(
+        self, environment, detector, small_population
+    ):
+        sites = list(small_population)[:12]
+        engine = CrawlEngine(
+            environment, detector, CrawlConfig(seed=5, workers=2, backend="thread")
+        )
+        first = engine.crawl(sites)
+        pool = engine.backend._executor
+        assert pool is not None
+        second = engine.crawl(sites, crawl_day=1)
+        assert engine.backend._executor is pool  # reused, not rebuilt
+        engine.close()
+        assert engine.backend._executor is None
+        # The engine is reusable after close(): a fresh pool spins up lazily.
+        third = engine.crawl(sites)
+        assert serialise(third.detections) == serialise(first.detections)
+        assert second.pages_visited == len(sites)
+        engine.close()
+
+    def test_process_pool_reuse_stays_byte_identical_across_days(
+        self, environment, detector, small_population
+    ):
+        sites = list(small_population)[:16]
+        serial_engine = CrawlEngine(environment, detector, CrawlConfig(seed=5))
+        with CrawlEngine(
+            environment, detector, CrawlConfig(seed=5, workers=4, backend="process")
+        ) as engine:
+            for day in (0, 1, 2):  # same worker processes serve all three days
+                expected = serial_engine.crawl(sites, crawl_day=day)
+                result = engine.crawl(sites, crawl_day=day)
+                assert serialise(result.detections) == serialise(expected.detections)
+
+    def test_live_pool_refuses_a_different_detector(
+        self, environment, detector, small_population
+    ):
+        sites = list(small_population)[:8]
+        backend = ThreadPoolBackend(max_workers=2)
+        with backend:
+            CrawlEngine(
+                environment, detector, CrawlConfig(seed=5, workers=2), backend=backend
+            ).crawl(sites)
+            other = CrawlEngine(
+                environment,
+                HBDetector(detector.known_partners),
+                CrawlConfig(seed=5, workers=2),
+                backend=backend,
+            )
+            with pytest.raises(ConfigurationError):
+                other.crawl(sites)
+
+    def test_live_pool_refuses_a_different_config(
+        self, environment, detector, small_population
+    ):
+        """Workers bake the config into their context at pool start; a second
+        engine with another seed must not silently crawl with the old one."""
+        sites = list(small_population)[:8]
+        backend = ThreadPoolBackend(max_workers=2)
+        with backend:
+            CrawlEngine(
+                environment, detector, CrawlConfig(seed=5, workers=2), backend=backend
+            ).crawl(sites)
+            other = CrawlEngine(
+                environment, detector, CrawlConfig(seed=9, workers=2), backend=backend
+            )
+            with pytest.raises(ConfigurationError):
+                other.crawl(sites)
+
+    def test_pool_grows_when_a_larger_crawl_arrives(
+        self, environment, detector, small_population
+    ):
+        """A small warm-up crawl must not cap parallelism for later crawls."""
+        sites = list(small_population)[:40]
+        with CrawlEngine(
+            environment, detector, CrawlConfig(seed=5, workers=8, backend="thread")
+        ) as engine:
+            engine.crawl(sites[:2])  # 2 shards -> pool of 2
+            assert engine.backend._pool_size == 2
+            result = engine.crawl(sites)  # 8 shards -> pool rebuilt at 8
+            assert engine.backend._pool_size == 8
+        serial = CrawlEngine(environment, detector, CrawlConfig(seed=5)).crawl(sites)
+        assert serialise(result.detections) == serialise(serial.detections)
+
+    def test_clone_preserves_detector_subclass(self, detector):
+        sub = self.CountingDetector(detector.known_partners)
+        assert type(HBDetector.clone(sub)) is self.CountingDetector
+
+
+class TestShardBoundaryFlush:
+    class RecordingSink:
+        def __init__(self):
+            self.events = []
+
+        def write(self, detection):
+            self.events.append("write")
+
+        def flush(self):
+            self.events.append("flush")
+
+    @pytest.mark.parametrize("backend_name,workers", [("serial", 1), ("thread", 3)])
+    def test_sink_flushed_at_every_shard_boundary(
+        self, environment, detector, small_population, backend_name, workers
+    ):
+        sites = list(small_population)[:12]
+        sink = self.RecordingSink()
+        with CrawlEngine(
+            environment,
+            detector,
+            CrawlConfig(seed=5, workers=workers, backend=backend_name),
+        ) as engine:
+            n_shards = len(engine.plan(sites).shards)
+            engine.crawl(sites, sink=sink)
+        assert sink.events.count("write") == len(sites)
+        flushes = sink.events.count("flush")
+        assert 1 <= flushes <= n_shards
+        assert sink.events[-1] == "flush"  # the final boundary flush
+
+    def test_sinks_without_flush_are_supported(self, environment, detector, small_population):
+        class BareSink:
+            def __init__(self):
+                self.count = 0
+
+            def write(self, detection):
+                self.count += 1
+
+        sink = BareSink()
+        with CrawlEngine(
+            environment, detector, CrawlConfig(seed=5, workers=2, backend="thread")
+        ) as engine:
+            engine.crawl(list(small_population)[:6], sink=sink)
+        assert sink.count == 6
 
 
 class TestFacadeAndScheduler:

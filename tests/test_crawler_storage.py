@@ -178,3 +178,108 @@ class TestDetectionSink:
         with pytest.raises(StorageError):
             sink.write(sample_detection("late.example"))
         assert storage.load() == [sample_detection()]
+
+
+class TestBufferedSink:
+    def detections(self, n=6):
+        return [sample_detection(f"site{i}.example", day=i) for i in range(n)]
+
+    def test_writes_are_buffered_until_the_flush_interval(self, tmp_path):
+        path = tmp_path / "crawl.jsonl"
+        with CrawlStorage(path).open_sink(flush_every=4) as sink:
+            for detection in self.detections(3):
+                sink.write(detection)
+            assert path.read_text(encoding="utf-8") == ""  # still in memory
+            assert sink.flushes == 0
+            sink.write(self.detections(4)[3])  # 4th record crosses the interval
+            assert sink.flushes == 1
+            assert len(path.read_text(encoding="utf-8").splitlines()) == 4
+        assert len(CrawlStorage(path).load()) == 4
+
+    def test_flush_interval_does_not_change_the_bytes(self, tmp_path):
+        detections = self.detections(11)
+        paths = []
+        for flush_every in (1, 3, 64):
+            path = tmp_path / f"flush{flush_every}.jsonl"
+            with CrawlStorage(path).open_sink(flush_every=flush_every) as sink:
+                sink.write_many(detections)
+            paths.append(path)
+        reference = paths[0].read_bytes()
+        assert all(path.read_bytes() == reference for path in paths[1:])
+
+    def test_close_flushes_the_tail(self, tmp_path):
+        path = tmp_path / "crawl.jsonl"
+        sink = CrawlStorage(path).open_sink(flush_every=100)
+        sink.write_many(self.detections(5))
+        sink.close()
+        assert len(CrawlStorage(path).load()) == 5
+        sink.close()  # idempotent
+
+    def test_explicit_flush_mid_stream(self, tmp_path):
+        path = tmp_path / "crawl.jsonl"
+        with CrawlStorage(path).open_sink(flush_every=100) as sink:
+            sink.write_many(self.detections(2))
+            sink.flush()
+            assert len(CrawlStorage(path).load()) == 2
+            sink.flush()  # nothing buffered: no-op
+            assert sink.flushes == 1
+
+    def test_flush_every_one_is_unbuffered(self, tmp_path):
+        path = tmp_path / "crawl.jsonl"
+        with CrawlStorage(path).open_sink(flush_every=1) as sink:
+            sink.write(sample_detection())
+            assert sink.flushes == 1
+            assert len(CrawlStorage(path).load()) == 1
+
+    def test_invalid_flush_interval_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            CrawlStorage(tmp_path / "x.jsonl").open_sink(flush_every=0)
+
+
+class TestReadNew:
+    def detections(self, n=5):
+        return [sample_detection(f"site{i}.example", day=i) for i in range(n)]
+
+    def test_tail_reads_resume_from_the_returned_offset(self, tmp_path):
+        storage = CrawlStorage(tmp_path / "crawl.jsonl")
+        detections = self.detections()
+        storage.save(detections[:2])
+        first, offset = storage.read_new(0)
+        assert first == detections[:2]
+        storage.append(detections[2:])
+        second, offset2 = storage.read_new(offset)
+        assert second == detections[2:]
+        assert offset2 == storage.path.stat().st_size
+        third, offset3 = storage.read_new(offset2)
+        assert third == [] and offset3 == offset2
+
+    def test_partial_trailing_line_is_left_for_the_next_read(self, tmp_path):
+        storage = CrawlStorage(tmp_path / "crawl.jsonl")
+        storage.save(self.detections(2))
+        full = storage.path.read_bytes()
+        cut = len(full) - 7  # chop the tail of the last record
+        storage.path.write_bytes(full[:cut])
+        got, offset = storage.read_new(0)
+        assert len(got) == 1  # only the complete first line
+        storage.path.write_bytes(full)  # the writer finishes the record
+        rest, offset2 = storage.read_new(offset)
+        assert rest == self.detections(2)[1:]
+        assert offset2 == len(full)
+
+    def test_missing_file_yields_nothing(self, tmp_path):
+        got, offset = CrawlStorage(tmp_path / "missing.jsonl").read_new(0)
+        assert got == [] and offset == 0
+
+    def test_truncated_file_raises_instead_of_stalling(self, tmp_path):
+        """A restarted crawl truncates the file; a stale offset must surface."""
+        storage = CrawlStorage(tmp_path / "crawl.jsonl")
+        storage.save(self.detections(4))
+        _, offset = storage.read_new(0)
+        storage.save(self.detections(1))  # fresh "w"-mode sink shrinks the file
+        with pytest.raises(StorageError, match="truncated"):
+            storage.read_new(offset)
+        assert storage.read_new(0)[0] == self.detections(1)  # restart works
+
+    def test_negative_offset_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            CrawlStorage(tmp_path / "x.jsonl").read_new(-1)

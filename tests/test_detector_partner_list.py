@@ -45,3 +45,36 @@ class TestKnownPartnerList:
     def test_empty_list_rejected(self):
         with pytest.raises(ConfigurationError):
             KnownPartnerList([])
+
+
+class TestMatchHostHotPath:
+    def test_lookups_are_memoised_per_host(self, registry):
+        known = build_known_partner_list(registry)
+        known.match_host("ib.adnxs.com")
+        before = known.match_cache_info()
+        assert known.match_host("IB.ADNXS.COM") == "AppNexus"  # case-folded hit
+        after = known.match_cache_info()
+        assert after.hits == before.hits + 1
+        assert after.misses == before.misses
+
+    def test_depth_bound_still_matches_deep_subdomains(self, registry):
+        known = build_known_partner_list(registry)
+        assert known.match_host("a.b.c.d.e.ib.adnxs.com") == "AppNexus"
+        assert known.match_host("a.b.c.d.e.nothing.example") is None
+
+    def test_pickle_round_trip_rebuilds_the_cache(self, registry):
+        import pickle
+
+        known = build_known_partner_list(registry)
+        known.match_host("ib.adnxs.com")
+        restored = pickle.loads(pickle.dumps(known))
+        assert restored.match_host("ib.adnxs.com") == "AppNexus"
+        assert restored.match_cache_info().currsize == 1  # fresh cache
+        assert restored.partner_names == known.partner_names
+
+    def test_entries_without_domains_are_exact_match_only(self):
+        from repro.detector.partner_list import _KnownPartner
+
+        known = KnownPartnerList([_KnownPartner(name="X", bidder_code="x", domains=())])
+        assert known.match_host("anything.example") is None
+        assert known.name_for_bidder_code("x") == "X"

@@ -1,0 +1,251 @@
+"""Incremental index maintenance: extend() must equal rebuild-from-scratch.
+
+The dataset's indices are updated in place when the dataset grows, instead of
+being invalidated and rebuilt.  These tests assert the two contracts that
+make that safe: (1) for every index, growing a warmed dataset chunk by chunk
+yields exactly the value a cold dataset over the same detections builds, and
+(2) after an extend no cached index is ever rebuilt (``index_stats`` shows
+zero new builds), which is what makes ``analyze --watch`` O(delta).
+"""
+
+import pytest
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.dataset import CrawlDataset
+from repro.analysis.registry import available_metrics, compute_metric
+from repro.detector.records import ObservedAuction, ObservedBid, SiteDetection
+from repro.models import HBFacet
+
+
+def make_detection(domain, day=0, hb=True, facet=HBFacet.CLIENT_SIDE, partners=("AppNexus",),
+                   n_bids=1, late=0, latency=500.0, rank=10, cpm=0.2):
+    bids = tuple(
+        ObservedBid(partner=partners[0], bidder_code=partners[0].lower(), slot_code="s1",
+                    cpm=cpm, size="300x250", latency_ms=200.0, late=(i < late))
+        for i in range(n_bids)
+    )
+    auctions = (ObservedAuction(slot_code="s1", size="300x250", bids=bids,
+                                start_ms=0.0, end_ms=latency, facet=facet),) if hb else ()
+    return SiteDetection(
+        domain=domain, rank=rank, hb_detected=hb, facet=facet if hb else None,
+        partners=partners if hb else (), auctions=auctions,
+        partner_latencies_ms={partners[0]: 200.0} if hb else {},
+        total_latency_ms=latency if hb else None, crawl_day=day,
+    )
+
+
+def sample_pool():
+    """A varied pool: re-crawls, all facets, non-HB sites, priceless bids."""
+    return [
+        make_detection("a.example", day=0, n_bids=2, late=1, rank=3),
+        make_detection("b.example", day=0, facet=HBFacet.SERVER_SIDE, partners=("DFP",), rank=18),
+        make_detection("c.example", day=0, hb=False, rank=40),
+        make_detection("a.example", day=1, n_bids=1, rank=3),
+        make_detection("d.example", day=1, facet=HBFacet.HYBRID, partners=("Rubicon", "AppNexus"),
+                       rank=55, latency=900.0),
+        make_detection("e.example", day=1, hb=False, rank=71),
+        make_detection("b.example", day=2, facet=HBFacet.SERVER_SIDE, partners=("DFP",),
+                       rank=18, cpm=None),
+        make_detection("f.example", day=2, facet=HBFacet.CLIENT_SIDE, partners=("Criteo",),
+                       rank=101, latency=0.0),
+    ]
+
+
+def warm_all_indices(dataset):
+    """Touch every registered index (including two rank-bin parameters)."""
+    dataset.hb_detections()
+    dataset.sites()
+    dataset.hb_sites()
+    dataset.auctions()
+    dataset.bids()
+    dataset.priced_bids()
+    dataset.by_facet()
+    dataset.auctions_by_facet()
+    dataset.bids_by_partner()
+    dataset.partner_site_counts()
+    dataset.partner_popularity_ranking()
+    dataset.partner_latency_samples()
+    dataset.site_latencies()
+    dataset.hb_latency_values()
+    dataset.hb_latencies_by_rank_bin(10)
+    dataset.hb_latencies_by_rank_bin(25)
+    dataset.crawl_days()
+    if dataset.detections:
+        dataset.summary()
+
+
+def index_snapshot(dataset):
+    """Every index value, for whole-dataset equality comparison."""
+    return {
+        "hb_detections": list(dataset.hb_detections()),
+        "sites": list(dataset.sites()),
+        "hb_sites": list(dataset.hb_sites()),
+        "auctions": list(dataset.auctions()),
+        "bids": list(dataset.bids()),
+        "priced_bids": list(dataset.priced_bids()),
+        "by_facet": {k: list(v) for k, v in dataset.by_facet().items()},
+        "auctions_by_facet": {k: list(v) for k, v in dataset.auctions_by_facet().items()},
+        "bids_by_partner": {k: list(v) for k, v in dataset.bids_by_partner().items()},
+        "partner_site_counts": dict(dataset.partner_site_counts()),
+        "partner_popularity_ranking": list(dataset.partner_popularity_ranking()),
+        "partner_latency_samples": {k: list(v) for k, v in dataset.partner_latency_samples().items()},
+        "site_latencies": {k: list(v) for k, v in dataset.site_latencies().items()},
+        "hb_latency_values": list(dataset.hb_latency_values()),
+        "rank_bin_10": {k: list(v) for k, v in dataset.hb_latencies_by_rank_bin(10).items()},
+        "rank_bin_25": {k: list(v) for k, v in dataset.hb_latencies_by_rank_bin(25).items()},
+        "crawl_days": dataset.crawl_days(),
+        "summary": dataset.summary(),
+    }
+
+
+def chunks(items, k):
+    """Split ``items`` into ``k`` contiguous chunks (some possibly empty)."""
+    size, extra = divmod(len(items), k)
+    out, start = [], 0
+    for i in range(k):
+        end = start + size + (1 if i < extra else 0)
+        out.append(items[start:end])
+        start = end
+    return out
+
+
+class TestIncrementalEqualsRebuild:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5, 8])
+    def test_chunked_extend_matches_one_shot_for_every_index(self, k):
+        pool = sample_pool()
+        one_shot = CrawlDataset.from_detections(pool)
+
+        grown = CrawlDataset.from_detections(pool[: max(1, len(pool) // (k + 1))])
+        warm_all_indices(grown)
+        remaining = pool[max(1, len(pool) // (k + 1)):]
+        for chunk in chunks(remaining, k):
+            grown.extend(chunk)
+
+        assert index_snapshot(grown) == index_snapshot(one_shot)
+
+    def test_extend_never_rebuilds_a_cached_index(self):
+        pool = sample_pool()
+        dataset = CrawlDataset.from_detections(pool[:3])
+        warm_all_indices(dataset)
+        stats = dataset.index_stats()
+        for chunk in chunks(pool[3:], 3):
+            dataset.extend(chunk)
+            warm_all_indices(dataset)  # re-access everything
+        after = dataset.index_stats()
+        assert after["builds"] == stats["builds"]
+        assert after["cached"] == stats["cached"]
+
+    def test_duplicate_domains_within_one_delta_batch(self):
+        base = [make_detection("x.example", day=0)]
+        dataset = CrawlDataset.from_detections(base)
+        warm_all_indices(dataset)
+        batch = [
+            make_detection("y.example", day=1, rank=7),
+            make_detection("y.example", day=2, rank=7, latency=800.0),  # re-visit in same batch
+            make_detection("x.example", day=1),
+        ]
+        dataset.extend(batch)
+        fresh = CrawlDataset.from_detections(base + batch)
+        assert index_snapshot(dataset) == index_snapshot(fresh)
+        assert [d.domain for d in dataset.sites()] == ["x.example", "y.example"]
+
+    def test_extend_on_cold_dataset_defers_to_lazy_build(self):
+        dataset = CrawlDataset.from_detections(sample_pool()[:2])
+        dataset.extend(sample_pool()[2:4])  # nothing cached yet — plain append
+        assert dataset.index_stats() == {"cached": 0, "builds": 0}
+        assert len(dataset.sites()) == len({d.domain for d in dataset.detections})
+
+    def test_extend_with_empty_iterable_is_a_no_op(self):
+        dataset = CrawlDataset.from_detections(sample_pool())
+        warm_all_indices(dataset)
+        stats = dataset.index_stats()
+        snapshot = index_snapshot(dataset)
+        dataset.extend([])
+        assert dataset.index_stats() == stats
+        assert index_snapshot(dataset) == snapshot
+
+    def test_partially_warmed_dataset_updates_only_cached_views(self):
+        pool = sample_pool()
+        dataset = CrawlDataset.from_detections(pool[:4])
+        dataset.hb_detections()
+        dataset.bids()  # also caches auctions (dependency)
+        dataset.extend(pool[4:])
+        fresh = CrawlDataset.from_detections(pool)
+        assert dataset.hb_detections() == fresh.hb_detections()
+        assert dataset.bids() == fresh.bids()
+        assert dataset.summary() == fresh.summary()  # built lazily post-extend
+
+    def test_new_crawl_day_and_new_partner_appear_incrementally(self):
+        dataset = CrawlDataset.from_detections(sample_pool()[:2])
+        warm_all_indices(dataset)
+        dataset.extend([
+            make_detection("fresh.example", day=9, partners=("IndexExchange",), rank=200),
+        ])
+        assert 9 in dataset.crawl_days()
+        assert dataset.partner_site_counts()["IndexExchange"] == 1
+        assert "IndexExchange" in dataset.partner_popularity_ranking()
+        assert dataset.summary()["crawl_days"] == 2  # day 0 (base) + day 9
+
+    def test_invalidate_then_extend_still_consistent(self):
+        pool = sample_pool()
+        dataset = CrawlDataset.from_detections(pool[:5])
+        warm_all_indices(dataset)
+        dataset.invalidate_indices()
+        dataset.extend(pool[5:])
+        assert index_snapshot(dataset) == index_snapshot(CrawlDataset.from_detections(pool))
+
+
+class TestUpdaterCoverage:
+    """The set of cached keys and the set of delta-updatable keys must agree,
+    so a future index cannot silently fall out of the O(delta) contract."""
+
+    def test_every_cached_index_key_has_an_updater(self):
+        from repro.analysis.dataset import UPDATABLE_INDEX_KEYS
+
+        dataset = CrawlDataset.from_detections(sample_pool())
+        warm_all_indices(dataset)
+        cached = {
+            key[0] if isinstance(key, tuple) else key for key in dataset._indices
+        }
+        assert cached <= UPDATABLE_INDEX_KEYS
+        # ... and warm_all_indices exercises every declared updater, so the
+        # incremental == rebuilt property tests above really cover them all.
+        assert cached == set(UPDATABLE_INDEX_KEYS)
+
+    def test_unknown_cached_key_is_evicted_not_corrupted(self):
+        dataset = CrawlDataset.from_detections(sample_pool()[:4])
+        dataset._indices["future_index"] = ["stale"]
+        dataset.hb_detections()
+        dataset.extend(sample_pool()[4:])
+        assert "future_index" not in dataset._indices  # rebuilt lazily, not kept stale
+        assert dataset.hb_detections() == CrawlDataset.from_detections(sample_pool()).hb_detections()
+
+
+class TestMetricsOverIncrementalDataset:
+    """Every registered dataset-only metric is byte-identical on a dataset
+    grown through extend() vs built in one shot — the registry-level form of
+    the incremental == rebuilt property."""
+
+    @pytest.fixture(scope="class")
+    def detections(self, experiment_artifacts):
+        return list(experiment_artifacts.dataset.detections)
+
+    @pytest.mark.parametrize("k", [2, 4, 7])
+    def test_every_offline_metric_is_byte_identical(self, detections, k):
+        one_shot = CrawlDataset.from_detections(detections, label="x")
+        grown = CrawlDataset(label="x")
+        parts = [part for part in chunks(detections, k) if part]
+        grown.extend(parts[0])
+        warm_all_indices(grown)
+        builds_after_warm = grown.index_stats()["builds"]
+        for part in parts[1:]:
+            grown.extend(part)
+        assert grown.index_stats()["builds"] == builds_after_warm
+
+        offline = sorted(available_metrics(frozenset({"dataset"})))
+        assert offline  # the registry must expose dataset-only metrics
+        for name in offline:
+            expected = compute_metric(name, AnalysisContext.offline(one_shot))
+            actual = compute_metric(name, AnalysisContext.offline(grown))
+            assert actual.text == expected.text, name
+            assert repr(actual.data) == repr(expected.data), name
