@@ -5,6 +5,8 @@ requested artefacts, which is the quickest way to see the pipeline working::
 
     hbrepro run --sites 2000 --days 1 --figures table1 adoption fig12 facet
     hbrepro run --sites 2000 --save crawl.jsonl --figures table1
+    hbrepro run --sites 2000 --save crawl.jsonl --checkpoint crawl.ckpt
+    hbrepro run --sites 2000 --save crawl.jsonl --checkpoint crawl.ckpt --resume
     hbrepro analyze crawl.jsonl --artifact table1 fig12
     hbrepro analyze crawl.jsonl --watch --interval 2
     hbrepro historical --sites 400
@@ -89,6 +91,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--flush-every", type=_positive_int, default=DetectionSink.DEFAULT_FLUSH_EVERY, metavar="N",
         help="buffer N detections between --save file writes (1 = per record, "
         "default %(default)s); bytes are identical for any value",
+    )
+    run.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="write a resumable crawl checkpoint to PATH at shard boundaries "
+        "(requires --save); resume an interrupted run with --resume",
+    )
+    run.add_argument(
+        "--resume", action="store_true",
+        help="resume the campaign recorded at --checkpoint instead of starting "
+        "fresh; the resumed sink and artefacts are byte-identical to an "
+        "uninterrupted run",
     )
     run.add_argument(
         "--figures",
@@ -232,16 +245,26 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 1
         return 0
 
-    config = ExperimentConfig(
-        total_sites=args.sites,
-        recrawl_days=args.days,
-        seed=args.seed,
-        workers=args.workers,
-        crawl_backend=args.backend,
-        sink_flush_every=args.flush_every,
-    )
-    storage = CrawlStorage(args.save) if args.save else None
-    artifacts = ExperimentRunner(config).run(storage=storage)
+    if args.resume and args.checkpoint is None:
+        parser.error("--resume requires --checkpoint")
+    if args.checkpoint is not None and args.save is None:
+        parser.error("--checkpoint requires --save (resume recovers the sink file)")
+    try:
+        config = ExperimentConfig(
+            total_sites=args.sites,
+            recrawl_days=args.days,
+            seed=args.seed,
+            workers=args.workers,
+            crawl_backend=args.backend,
+            sink_flush_every=args.flush_every,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+        )
+        storage = CrawlStorage(args.save) if args.save else None
+        artifacts = ExperimentRunner(config).run(storage=storage)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     if storage is not None:
         print(f"Streamed {len(artifacts.longitudinal.all_detections)} detections "
               f"to {storage.path}\n")

@@ -31,6 +31,12 @@ from repro.crawler.engine import (
 from repro.crawler.scheduler import LongitudinalScheduler, LongitudinalCrawl
 from repro.crawler.historical import HistoricalCrawler, HistoricalAdoption
 from repro.crawler.storage import CrawlStorage, DetectionSink
+from repro.crawler.checkpoint import (
+    CrawlCheckpoint,
+    CrawlCheckpointer,
+    plan_fingerprint,
+    population_fingerprint,
+)
 
 __all__ = [
     "CrawlSession",
@@ -52,4 +58,8 @@ __all__ = [
     "HistoricalAdoption",
     "CrawlStorage",
     "DetectionSink",
+    "CrawlCheckpoint",
+    "CrawlCheckpointer",
+    "plan_fingerprint",
+    "population_fingerprint",
 ]

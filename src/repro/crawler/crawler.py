@@ -25,6 +25,7 @@ from repro.errors import ConfigurationError
 from repro.hb.environment import AuctionEnvironment
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
+    from repro.crawler.checkpoint import CrawlCheckpointer
     from repro.crawler.engine import CrawlEngine, DetectionSinkLike, ExecutionBackend
 
 __all__ = ["CrawlConfig", "CrawlResult", "Crawler", "BACKEND_NAMES"]
@@ -54,6 +55,11 @@ class CrawlConfig:
     #: ``sessions_started`` may differ when ``restart_every_pages > 1``,
     #: since sessions never span shard boundaries.
     backend: str = "serial"
+    #: Persist the crawl checkpoint every N completed shard boundaries
+    #: (``1`` = at every boundary).  Purely operational: a larger interval
+    #: writes fewer checkpoint files at the cost of re-crawling more shards
+    #: after a crash; resumed bytes are identical for any value.
+    checkpoint_every_shards: int = 1
 
     def __post_init__(self) -> None:
         if self.page_load_timeout_ms <= 0:
@@ -64,6 +70,8 @@ class CrawlConfig:
             raise ConfigurationError("restart_every_pages must be >= 1")
         if self.workers < 1:
             raise ConfigurationError("workers must be >= 1")
+        if self.checkpoint_every_shards < 1:
+            raise ConfigurationError("checkpoint_every_shards must be >= 1")
         if self.backend not in BACKEND_NAMES:
             raise ConfigurationError(
                 f"unknown backend {self.backend!r}; expected one of {', '.join(BACKEND_NAMES)}"
@@ -150,8 +158,13 @@ class Crawler:
     def __enter__(self) -> "Crawler":
         return self
 
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        try:
+            self.close()
+        except Exception:
+            # Never mask a crawl error with a pool-teardown failure.
+            if exc_type is None:
+                raise
 
     def crawl(
         self,
@@ -160,10 +173,15 @@ class Crawler:
         crawl_day: int = 0,
         progress: ProgressCallback | None = None,
         sink: "DetectionSinkLike | None" = None,
+        checkpoint: "CrawlCheckpointer | None" = None,
     ) -> CrawlResult:
         """Visit every publisher once and run detection on each page load."""
         return self.engine.crawl(
-            publishers, crawl_day=crawl_day, progress=progress, sink=sink
+            publishers,
+            crawl_day=crawl_day,
+            progress=progress,
+            sink=sink,
+            checkpoint=checkpoint,
         )
 
     def crawl_domains(
@@ -174,8 +192,14 @@ class Crawler:
         crawl_day: int = 0,
         progress: ProgressCallback | None = None,
         sink: "DetectionSinkLike | None" = None,
+        checkpoint: "CrawlCheckpointer | None" = None,
     ) -> CrawlResult:
         """Crawl a subset of a population selected by domain name."""
         return self.engine.crawl_domains(
-            population, domains, crawl_day=crawl_day, progress=progress, sink=sink
+            population,
+            domains,
+            crawl_day=crawl_day,
+            progress=progress,
+            sink=sink,
+            checkpoint=checkpoint,
         )

@@ -53,7 +53,7 @@ from __future__ import annotations
 import threading
 from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, ThreadPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, Protocol, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Protocol, Sequence
 
 from repro.crawler.crawler import BACKEND_NAMES, CrawlConfig, CrawlResult, ProgressCallback
 from repro.crawler.session import CrawlSession
@@ -63,6 +63,9 @@ from repro.ecosystem.publishers import Publisher, PublisherPopulation
 from repro.errors import ConfigurationError
 from repro.hb.environment import AuctionEnvironment
 from repro.utils.rng import stable_hash
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
+    from repro.crawler.checkpoint import CrawlCheckpointer
 
 __all__ = [
     "CrawlShard",
@@ -535,8 +538,14 @@ class CrawlEngine:
     def __enter__(self) -> "CrawlEngine":
         return self
 
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        try:
+            self.close()
+        except Exception:
+            # A pool-teardown failure while unwinding a crawl error must not
+            # mask the original exception; surface it only on a clean exit.
+            if exc_type is None:
+                raise
 
     def crawl(
         self,
@@ -545,6 +554,7 @@ class CrawlEngine:
         crawl_day: int = 0,
         progress: ProgressCallback | None = None,
         sink: DetectionSinkLike | None = None,
+        checkpoint: "CrawlCheckpointer | None" = None,
     ) -> CrawlResult:
         """Visit every publisher once and run detection on each page load.
 
@@ -553,9 +563,27 @@ class CrawlEngine:
         shard by shard — as soon as every earlier shard has completed — on
         pool backends.  Sinks with a ``flush()`` method are flushed at every
         shard boundary.
+
+        ``checkpoint`` makes the crawl resumable: progress is recorded at
+        shard boundaries (throttled by ``config.checkpoint_every_shards``),
+        and if the checkpointer was resumed from a previous interrupted run
+        the completed leading shards are skipped, their detections recovered
+        from the sink file instead of re-crawled, and the merged result —
+        and the sink bytes — are identical to an uninterrupted run.  A
+        checkpointed crawl requires a sink (recovery replays its file), and
+        recovered detections are not re-streamed to ``sink``/``progress``.
         """
         plan = self.plan(publishers)
-        emitted = 0
+        prior = CrawlResult()
+        skip = 0
+        if checkpoint is not None:
+            if sink is None:
+                raise ConfigurationError(
+                    "a checkpointed crawl needs a sink: resume recovers "
+                    "completed shards from the sink file"
+                )
+            prior, skip = checkpoint.begin_phase(plan, crawl_day, sink)
+        emitted = len(prior.detections)
 
         def emit(detection: SiteDetection) -> None:
             nonlocal emitted
@@ -565,9 +593,24 @@ class CrawlEngine:
             if progress is not None:
                 progress(emitted, plan.n_sites, detection)
 
+        remaining = plan.shards[skip:]
+        if not remaining:
+            # The whole phase was recovered from the checkpoint: don't spin
+            # up pool workers (and pickle the environment into them) for a
+            # no-op replay.
+            return prior
+
         inline = self.backend.streams_inline
         self.backend.prepare(self._context)
         sink_flush = getattr(sink, "flush", None) if sink is not None else None
+        # Phase-cumulative counters for checkpointing (resumed prefix included).
+        n_detections = len(prior.detections)
+        pages_visited = prior.pages_visited
+        sessions_started = prior.sessions_started
+        timed_out = list(prior.timed_out_domains)
+        checkpoint_every = self.config.checkpoint_every_shards
+        boundaries = 0
+        n_shards = len(plan.shards)
         # `execute` yields in completion order; shards are emitted (and
         # ultimately merged) in shard order, holding back any that finish
         # early. Every shard is yielded exactly once, so `ordered` is
@@ -575,20 +618,38 @@ class CrawlEngine:
         ordered: list[CrawlResult] = []
         early: dict[int, CrawlResult] = {}
         for shard_index, shard_result in self.backend.execute(
-            plan.shards, crawl_day, emit if inline else None
+            remaining, crawl_day, emit if inline else None
         ):
             early[shard_index] = shard_result
             at_boundary = False
-            while len(ordered) in early:
-                ready = early.pop(len(ordered))
+            while skip + len(ordered) in early:
+                ready = early.pop(skip + len(ordered))
                 if not inline:
                     for detection in ready.detections:
                         emit(detection)
                 ordered.append(ready)
+                n_detections += len(ready.detections)
+                pages_visited += ready.pages_visited
+                sessions_started += ready.sessions_started
+                timed_out.extend(ready.timed_out_domains)
                 at_boundary = True
-            if at_boundary and sink_flush is not None:
-                sink_flush()
-        return CrawlResult.merged(ordered)
+            if at_boundary:
+                if sink_flush is not None:
+                    sink_flush()
+                if checkpoint is not None:
+                    boundaries += 1
+                    done = skip + len(ordered) == n_shards
+                    checkpoint.record_progress(
+                        crawl_day,
+                        completed_shards=skip + len(ordered),
+                        n_detections=n_detections,
+                        pages_visited=pages_visited,
+                        sessions_started=sessions_started,
+                        timed_out_domains=tuple(timed_out),
+                        sink_offset=sink.offset,  # type: ignore[union-attr]
+                        persist=done or boundaries % checkpoint_every == 0,
+                    )
+        return prior.merge(CrawlResult.merged(ordered))
 
     def crawl_domains(
         self,
@@ -598,7 +659,14 @@ class CrawlEngine:
         crawl_day: int = 0,
         progress: ProgressCallback | None = None,
         sink: DetectionSinkLike | None = None,
+        checkpoint: "CrawlCheckpointer | None" = None,
     ) -> CrawlResult:
         """Crawl a subset of a population selected by domain name."""
         publishers = [population.by_domain(domain) for domain in domains]
-        return self.crawl(publishers, crawl_day=crawl_day, progress=progress, sink=sink)
+        return self.crawl(
+            publishers,
+            crawl_day=crawl_day,
+            progress=progress,
+            sink=sink,
+            checkpoint=checkpoint,
+        )

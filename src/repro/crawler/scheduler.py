@@ -24,6 +24,7 @@ from repro.ecosystem.publishers import PublisherPopulation
 from repro.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.crawler.checkpoint import CrawlCheckpointer
     from repro.crawler.engine import CrawlEngine, DetectionSinkLike
 
 __all__ = ["LongitudinalCrawl", "LongitudinalScheduler"]
@@ -77,19 +78,32 @@ class LongitudinalScheduler:
         *,
         domains: Sequence[str] | None = None,
         sink: "DetectionSinkLike | None" = None,
+        checkpoint: "CrawlCheckpointer | None" = None,
     ) -> LongitudinalCrawl:
         """Execute the full two-phase measurement.
 
         ``domains`` restricts the discovery pass (useful for scaled-down test
         runs); by default the whole population is crawled.  ``sink`` receives
         every detection in crawl order as the campaign progresses.
+
+        ``checkpoint`` threads a :class:`CrawlCheckpointer` through every
+        phase (the discovery pass is phase ``crawl_day=0``, each re-crawl is
+        its own phase), making the whole campaign resumable: phases the
+        checkpoint saw complete are recovered from the sink file instead of
+        re-crawled — the discovery result, and therefore the HB-site list the
+        daily plans derive from, is reconstructed deterministically — and the
+        interrupted phase restarts from its last recorded shard boundary.
         """
         targets = list(domains) if domains is not None else list(population.domains)
-        discovery = self.crawler.crawl_domains(population, targets, crawl_day=0, sink=sink)
+        discovery = self.crawler.crawl_domains(
+            population, targets, crawl_day=0, sink=sink, checkpoint=checkpoint
+        )
         longitudinal = LongitudinalCrawl(discovery=discovery)
 
         hb_domains = discovery.hb_domains
         for day in range(1, self.recrawl_days + 1):
-            daily = self.crawler.crawl_domains(population, hb_domains, crawl_day=day, sink=sink)
+            daily = self.crawler.crawl_domains(
+                population, hb_domains, crawl_day=day, sink=sink, checkpoint=checkpoint
+            )
             longitudinal.daily_results.append(daily)
         return longitudinal

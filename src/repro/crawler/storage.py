@@ -171,6 +171,26 @@ class DetectionSink:
         self._buffer: list[str] = []
         self._handle: IO[str] | None = None
         self._closed = False
+        self._offset: int | None = None
+
+    @property
+    def offset(self) -> int:
+        """Bytes durably in the file from this sink's point of view.
+
+        Counts only flushed data (buffered lines are excluded), starting from
+        the pre-existing file size in append mode and from zero otherwise.
+        This is the byte position a crawl checkpoint records: everything
+        before it is complete, canonical JSON-Lines records.
+        """
+        if self._offset is None:
+            if self.append:
+                try:
+                    self._offset = self.path.stat().st_size
+                except OSError:
+                    self._offset = 0
+            else:
+                self._offset = 0
+        return self._offset
 
     def _ensure_open(self) -> IO[str]:
         if self._closed:
@@ -206,15 +226,27 @@ class DetectionSink:
         if not self._buffer:
             return
         handle = self._ensure_open()
+        payload = "".join(self._buffer)
+        # Snapshot before the write: the lazy property stats the file, and a
+        # post-write stat would count this payload twice in append mode.
+        base = self.offset
         try:
-            handle.write("".join(self._buffer))
+            handle.write(payload)
             handle.flush()
         except OSError as exc:
             raise StorageError(f"could not write {self.path}: {exc}") from exc
         self._buffer.clear()
         self.flushes += 1
+        self._offset = base + len(payload.encode("utf-8"))
 
     def close(self) -> None:
+        """Flush the buffered tail and close the file.
+
+        Idempotent: every call after the first is a no-op, including when the
+        first call's flush failed mid-write — the sink still ends closed with
+        the OS handle released, so cleanup paths (``finally`` blocks, context
+        managers) can call it unconditionally after a mid-shard error.
+        """
         if self._closed:
             return
         try:
@@ -235,7 +267,14 @@ class DetectionSink:
         exc: BaseException | None,
         tb: TracebackType | None,
     ) -> None:
-        self.close()
+        try:
+            self.close()
+        except StorageError:
+            # If the body already failed, a secondary flush failure while
+            # closing must not mask the original exception (the root cause);
+            # a clean body still surfaces the close failure.
+            if exc_type is None:
+                raise
 
 
 class CrawlStorage:
@@ -341,14 +380,71 @@ class CrawlStorage:
         if end < 0:
             return [], offset
         complete = chunk[: end + 1]
+        return self._parse_lines(complete, "tailing"), offset + len(complete)
+
+    def _parse_lines(self, blob: bytes, action: str) -> list[SiteDetection]:
+        """Parse newline-terminated JSON-Lines bytes, loudly on any damage."""
         detections = []
-        for raw_line in complete.split(b"\n"):
+        for raw_line in blob.split(b"\n"):
             line = raw_line.strip()
             if not line:
                 continue
             try:
                 data = json.loads(line.decode("utf-8"))
             except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-                raise StorageError(f"invalid JSON while tailing {self.path}: {exc}") from exc
+                raise StorageError(f"invalid JSON while {action} {self.path}: {exc}") from exc
             detections.append(detection_from_dict(data))
-        return detections, offset + len(complete)
+        return detections
+
+    def recover_to(self, offset: int) -> list[SiteDetection]:
+        """Truncate the file to ``offset`` bytes and return the kept records.
+
+        The crash-recovery primitive behind resumable crawls: a checkpoint
+        records the sink's byte offset at a shard boundary, so everything
+        before ``offset`` is complete canonical records and anything after it
+        is a half-flushed tail from the interrupted run (possibly ending in a
+        partial line), which is dropped.  The kept prefix is parsed *before*
+        the file is touched and every anomaly fails loudly instead of
+        double-counting: a missing file, a file shorter than ``offset`` (it
+        was truncated or replaced since the checkpoint was written), an
+        ``offset`` that does not fall on a record boundary, or malformed
+        records in the prefix all raise :class:`StorageError`.
+        """
+        if offset < 0:
+            raise StorageError("recovery offset cannot be negative")
+        if offset == 0:
+            if self.path.exists():
+                self._truncate(0)
+            return []
+        if not self.path.exists():
+            raise StorageError(
+                f"cannot recover {self.path}: the file is missing but the "
+                f"checkpoint records {offset} bytes"
+            )
+        try:
+            size = self.path.stat().st_size
+            if size < offset:
+                raise StorageError(
+                    f"cannot recover {self.path}: the file holds {size} bytes but "
+                    f"the checkpoint records {offset} — it was truncated or replaced"
+                )
+            with self.path.open("rb") as handle:
+                prefix = handle.read(offset)
+        except OSError as exc:
+            raise StorageError(f"could not read {self.path}: {exc}") from exc
+        if not prefix.endswith(b"\n"):
+            raise StorageError(
+                f"cannot recover {self.path}: byte {offset} is not a record "
+                f"boundary — the file was replaced since the checkpoint"
+            )
+        detections = self._parse_lines(prefix, "recovering")
+        if size > offset:
+            self._truncate(offset)
+        return detections
+
+    def _truncate(self, offset: int) -> None:
+        try:
+            with self.path.open("r+b") as handle:
+                handle.truncate(offset)
+        except OSError as exc:
+            raise StorageError(f"could not truncate {self.path}: {exc}") from exc

@@ -54,6 +54,10 @@ class CrawlError(ReproError):
     """The crawler failed in a way that is not a per-page timeout."""
 
 
+class CheckpointError(CrawlError):
+    """A crawl checkpoint is missing, corrupt, or does not match this run."""
+
+
 class StorageError(ReproError):
     """Reading or writing a crawl dataset on disk failed."""
 

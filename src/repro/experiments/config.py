@@ -48,6 +48,16 @@ class ExperimentConfig:
     #: writes (``1`` = write-and-flush per record).  Purely operational: the
     #: saved bytes are identical for any value.
     sink_flush_every: int = DetectionSink.DEFAULT_FLUSH_EVERY
+    #: Write a resumable crawl checkpoint to this path as the campaign
+    #: progresses (requires persistent storage — ``run --save``).  ``None``
+    #: disables checkpointing.
+    checkpoint_path: str | None = None
+    #: Resume the campaign recorded at :attr:`checkpoint_path` instead of
+    #: starting fresh.  Refuses (fingerprint mismatch) if the configuration,
+    #: seed or population differ from the interrupted run.
+    resume: bool = False
+    #: Persist the checkpoint every N completed shard boundaries.
+    checkpoint_every_shards: int = 1
 
     def __post_init__(self) -> None:
         if self.total_sites < 10:
@@ -64,8 +74,11 @@ class ExperimentConfig:
             raise ConfigurationError("the historical study needs at least one year")
         if self.sink_flush_every < 1:
             raise ConfigurationError("sink_flush_every must be >= 1")
-        # workers / crawl_backend validation lives in CrawlConfig; building
-        # the crawl config surfaces any error at construction time.
+        if self.resume and self.checkpoint_path is None:
+            raise ConfigurationError("resume requires a checkpoint_path")
+        # workers / crawl_backend / checkpoint_every_shards validation lives
+        # in CrawlConfig; building the crawl config surfaces any error at
+        # construction time.
         self.crawl_config()
 
     # -- presets ------------------------------------------------------------------
@@ -92,10 +105,18 @@ class ExperimentConfig:
 
     def crawl_config(self) -> CrawlConfig:
         """The crawler configuration this experiment implies."""
-        return CrawlConfig(seed=self.seed, workers=self.workers, backend=self.crawl_backend)
+        return CrawlConfig(
+            seed=self.seed,
+            workers=self.workers,
+            backend=self.crawl_backend,
+            checkpoint_every_shards=self.checkpoint_every_shards,
+        )
 
     def with_parallelism(self, workers: int, backend: str = "thread") -> "ExperimentConfig":
         return replace(self, workers=workers, crawl_backend=backend)
+
+    def with_checkpoint(self, path: str, *, resume: bool = False) -> "ExperimentConfig":
+        return replace(self, checkpoint_path=path, resume=resume)
 
     def with_sites(self, total_sites: int) -> "ExperimentConfig":
         return replace(self, total_sites=total_sites)

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.analysis.dataset import CrawlDataset
+from repro.crawler.checkpoint import CrawlCheckpointer, population_fingerprint
 from repro.crawler.crawler import Crawler
 from repro.crawler.storage import CrawlStorage
 from repro.crawler.historical import HistoricalAdoption, HistoricalCrawler
@@ -30,6 +31,7 @@ from repro.ecosystem.alexa import yearly_top_lists
 from repro.ecosystem.publishers import PublisherPopulation, generate_population
 from repro.ecosystem.registry import default_registry
 from repro.ecosystem.wayback import SnapshotArchive
+from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
 from repro.hb.environment import AuctionEnvironment
 
@@ -115,6 +117,31 @@ class ExperimentRunner:
         )
         return HBDetector(known)
 
+    def campaign_fingerprint(self, population: PublisherPopulation) -> dict:
+        """Identity of this campaign for checkpoint resume validation.
+
+        Covers every knob that changes the produced bytes — seed, population,
+        campaign shape, page-load parameters — and deliberately excludes
+        ``workers``, ``crawl_backend``, ``sink_flush_every`` and
+        ``checkpoint_every_shards``: detections are byte-identical across all
+        of them, so an interrupted crawl may resume with different
+        parallelism (the engine still insists the mid-flight phase re-plans
+        identically).
+        """
+        crawl = self.config.crawl_config()
+        return {
+            "total_sites": self.config.total_sites,
+            "seed": self.config.seed,
+            "recrawl_days": self.config.recrawl_days,
+            "detector_coverage": self.config.detector_coverage,
+            "total_partners": self.config.total_partners,
+            "vanilla_profile": self.config.vanilla_profile,
+            "population": population_fingerprint(population.domains),
+            "page_load_timeout_ms": crawl.page_load_timeout_ms,
+            "extra_dwell_ms": crawl.extra_dwell_ms,
+            "restart_every_pages": crawl.restart_every_pages,
+        }
+
     # -- main entry points ----------------------------------------------------------
     def run(
         self,
@@ -128,8 +155,19 @@ class ExperimentRunner:
         campaign progresses (discovery pass first, then each crawl day) —
         runs given a storage are never served from the artifact cache, since
         a cache hit would skip the writes.
+
+        With ``config.checkpoint_path`` set, progress is checkpointed at
+        shard boundaries; with ``config.resume`` the campaign continues from
+        the recorded state (recovering the sink's half-flushed tail) and the
+        final artifacts and sink bytes are identical to an uninterrupted run.
         """
-        cache_key = _run_cache_key(self.config)
+        config = self.config
+        if config.checkpoint_path is not None and storage is None:
+            raise ConfigurationError(
+                "a checkpointed run needs persistent storage (run --save): "
+                "resume recovers completed work from the sink file"
+            )
+        cache_key = _run_cache_key(config)
         use_cache = use_cache and storage is None
         if use_cache:
             cached = _cache_get(cache_key)
@@ -139,19 +177,33 @@ class ExperimentRunner:
         population = self.build_population()
         environment = self.build_environment(population)
         detector = self.build_detector(population)
-        crawler = Crawler(environment, detector, self.config.crawl_config())
-        scheduler = LongitudinalScheduler(crawler, recrawl_days=self.config.recrawl_days)
-        try:
-            # Pool workers persist across the discovery pass and every daily
-            # re-crawl (their environment/detector ships once per worker, not
-            # once per shard); release them when the campaign is done.
+        checkpointer: CrawlCheckpointer | None = None
+        if config.checkpoint_path is not None:
+            fingerprint = self.campaign_fingerprint(population)
+            if config.resume:
+                checkpointer = CrawlCheckpointer.resume(
+                    config.checkpoint_path, fingerprint, storage
+                )
+            else:
+                checkpointer = CrawlCheckpointer.fresh(
+                    config.checkpoint_path, fingerprint
+                )
+        # Pool workers persist across the discovery pass and every daily
+        # re-crawl (their environment/detector ships once per worker, not
+        # once per shard); the context managers release them when the
+        # campaign is done without masking a mid-crawl error.
+        with Crawler(environment, detector, config.crawl_config()) as crawler:
+            scheduler = LongitudinalScheduler(crawler, recrawl_days=config.recrawl_days)
             if storage is not None:
-                with storage.open_sink(flush_every=self.config.sink_flush_every) as sink:
-                    longitudinal = scheduler.run(population, sink=sink)
+                # Resume appends to the recovered sink; fresh runs start over.
+                with storage.open_sink(
+                    append=config.resume, flush_every=config.sink_flush_every
+                ) as sink:
+                    longitudinal = scheduler.run(
+                        population, sink=sink, checkpoint=checkpointer
+                    )
             else:
                 longitudinal = scheduler.run(population)
-        finally:
-            crawler.close()
         dataset = CrawlDataset.from_detections(
             longitudinal.all_detections, label=f"crawl-{self.config.total_sites}"
         )

@@ -283,3 +283,227 @@ class TestReadNew:
     def test_negative_offset_rejected(self, tmp_path):
         with pytest.raises(StorageError):
             CrawlStorage(tmp_path / "x.jsonl").read_new(-1)
+
+    def test_replaced_file_with_garbage_past_offset_fails_loudly(self, tmp_path):
+        """A same-or-larger replacement file puts arbitrary bytes at the old
+        offset; tailing must raise instead of silently yielding junk."""
+        storage = CrawlStorage(tmp_path / "crawl.jsonl")
+        storage.save(self.detections(2))
+        _, offset = storage.read_new(0)
+        storage.path.write_bytes(b"z" * (offset + 40) + b"\n")
+        with pytest.raises(StorageError, match="invalid JSON"):
+            storage.read_new(offset)
+
+
+class TestRecoverTo:
+    """Sink-tail recovery: the crash-resume primitive must never double-count."""
+
+    def detections(self, n=5):
+        return [sample_detection(f"site{i}.example", day=i) for i in range(n)]
+
+    def saved(self, tmp_path, n=5):
+        storage = CrawlStorage(tmp_path / "crawl.jsonl")
+        storage.save(self.detections(n))
+        return storage
+
+    def line_offset(self, storage, k):
+        """Byte offset of the end of the k-th line."""
+        blob = storage.path.read_bytes()
+        offset = 0
+        for _ in range(k):
+            offset = blob.index(b"\n", offset) + 1
+        return offset
+
+    def test_recovers_prefix_and_truncates_the_tail(self, tmp_path):
+        storage = self.saved(tmp_path)
+        offset = self.line_offset(storage, 3)
+        recovered = storage.recover_to(offset)
+        assert recovered == self.detections()[:3]
+        assert storage.path.stat().st_size == offset
+        assert storage.load() == self.detections()[:3]
+
+    def test_partial_trailing_line_is_dropped(self, tmp_path):
+        """A crash can flush a torn record past the checkpointed offset."""
+        storage = self.saved(tmp_path, 3)
+        offset = self.line_offset(storage, 2)
+        blob = storage.path.read_bytes()
+        storage.path.write_bytes(blob[: offset + 17])  # torn third record
+        assert storage.recover_to(offset) == self.detections(3)[:2]
+        assert storage.path.stat().st_size == offset
+
+    def test_offset_zero_empties_the_file(self, tmp_path):
+        storage = self.saved(tmp_path, 2)
+        assert storage.recover_to(0) == []
+        assert storage.path.stat().st_size == 0
+
+    def test_offset_zero_on_a_missing_file_is_a_fresh_start(self, tmp_path):
+        storage = CrawlStorage(tmp_path / "missing.jsonl")
+        assert storage.recover_to(0) == []
+        assert not storage.path.exists()
+
+    def test_missing_file_with_recorded_bytes_fails_loudly(self, tmp_path):
+        storage = CrawlStorage(tmp_path / "missing.jsonl")
+        with pytest.raises(StorageError, match="missing"):
+            storage.recover_to(100)
+
+    def test_file_truncated_below_offset_fails_loudly(self, tmp_path):
+        storage = self.saved(tmp_path, 2)
+        size = storage.path.stat().st_size
+        storage.path.write_bytes(storage.path.read_bytes()[: size // 2])
+        with pytest.raises(StorageError, match="truncated or replaced"):
+            storage.recover_to(size)
+
+    def test_replaced_file_offset_off_boundary_fails_loudly(self, tmp_path):
+        storage = self.saved(tmp_path)
+        offset = self.line_offset(storage, 2)
+        storage.path.write_bytes(b"x" * (offset + 50))  # alien, no newline at offset
+        with pytest.raises(StorageError, match="record boundary"):
+            storage.recover_to(offset)
+
+    def test_replaced_file_with_malformed_prefix_fails_loudly(self, tmp_path):
+        storage = self.saved(tmp_path)
+        offset = self.line_offset(storage, 2)
+        storage.path.write_bytes(b"x" * (offset - 1) + b"\n" + b"y" * 60)
+        with pytest.raises(StorageError, match="invalid JSON"):
+            storage.recover_to(offset)
+
+    def test_failed_recovery_leaves_the_file_untouched(self, tmp_path):
+        """Parse errors must surface before any truncation destroys evidence."""
+        storage = self.saved(tmp_path)
+        offset = self.line_offset(storage, 2)
+        alien = b"x" * (offset - 1) + b"\n" + b"y" * 60
+        storage.path.write_bytes(alien)
+        with pytest.raises(StorageError):
+            storage.recover_to(offset)
+        assert storage.path.read_bytes() == alien
+
+    def test_negative_offset_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            CrawlStorage(tmp_path / "x.jsonl").recover_to(-1)
+
+    def test_read_new_continues_cleanly_after_recovery(self, tmp_path):
+        """recover_to + append is exactly what resume does; a watcher tailing
+        from the recovered offset must see only the new records."""
+        storage = self.saved(tmp_path, 4)
+        offset = self.line_offset(storage, 2)
+        kept = storage.recover_to(offset)
+        assert [d.domain for d in kept] == ["site0.example", "site1.example"]
+        storage.append(self.detections(4)[2:])
+        tailed, end = storage.read_new(offset)
+        assert tailed == self.detections(4)[2:]
+        assert end == storage.path.stat().st_size
+
+
+class TestSinkOffset:
+    def detections(self, n=6):
+        return [sample_detection(f"site{i}.example", day=i) for i in range(n)]
+
+    def test_offset_tracks_flushed_bytes_only(self, tmp_path):
+        path = tmp_path / "crawl.jsonl"
+        with CrawlStorage(path).open_sink(flush_every=3) as sink:
+            assert sink.offset == 0
+            sink.write_many(self.detections(2))
+            assert sink.offset == 0  # still buffered
+            sink.write(self.detections(3)[2])  # crosses the interval
+            assert sink.offset == path.stat().st_size > 0
+            sink.write(self.detections(4)[3])
+            buffered_at = sink.offset
+            sink.flush()
+            assert sink.offset == path.stat().st_size > buffered_at
+
+    def test_append_sink_starts_at_the_existing_size(self, tmp_path):
+        storage = CrawlStorage(tmp_path / "crawl.jsonl")
+        storage.save(self.detections(2))
+        base = storage.path.stat().st_size
+        with storage.open_sink(append=True, flush_every=1) as sink:
+            assert sink.offset == base
+            sink.write(self.detections(3)[2])
+            assert sink.offset == storage.path.stat().st_size > base
+
+    def test_append_sink_offset_first_read_after_a_flush(self, tmp_path):
+        """The lazy offset must not double-count a payload already written
+        when it is first consulted only after the first flush."""
+        storage = CrawlStorage(tmp_path / "crawl.jsonl")
+        storage.save(self.detections(2))
+        with storage.open_sink(append=True, flush_every=1) as sink:
+            sink.write(self.detections(3)[2])  # flushes before offset is read
+            assert sink.offset == storage.path.stat().st_size
+
+    def test_fresh_sink_offset_ignores_stale_content(self, tmp_path):
+        storage = CrawlStorage(tmp_path / "crawl.jsonl")
+        storage.save(self.detections(2))
+        sink = storage.open_sink()  # "w" mode will truncate on open
+        assert sink.offset == 0
+        sink.close()
+
+
+class TestSinkCloseSafety:
+    """close() stays idempotent and never masks a mid-crawl error."""
+
+    class ExplodingHandle:
+        def __init__(self):
+            self.closed = False
+
+        def write(self, data):
+            raise OSError("disk full")
+
+        def flush(self):  # pragma: no cover - never reached past write
+            pass
+
+        def close(self):
+            self.closed = True
+
+    def test_close_twice_after_a_flush_failure(self, tmp_path):
+        sink = CrawlStorage(tmp_path / "crawl.jsonl").open_sink(flush_every=100)
+        sink.write(sample_detection())
+        handle = self.ExplodingHandle()
+        sink._handle = handle
+        with pytest.raises(StorageError, match="disk full"):
+            sink.close()
+        assert handle.closed  # the OS handle was released despite the failure
+        sink.close()  # second close after the error: clean no-op
+        with pytest.raises(StorageError):
+            sink.write(sample_detection())  # and the sink stays closed
+
+    def test_exit_does_not_mask_the_body_exception(self, tmp_path):
+        """A crawl error inside `with sink:` must surface even when the final
+        close-flush fails too (e.g. the disk that killed the crawl is full)."""
+        with pytest.raises(ZeroDivisionError):
+            with CrawlStorage(tmp_path / "crawl.jsonl").open_sink(flush_every=100) as sink:
+                sink.write(sample_detection())
+                sink._handle = self.ExplodingHandle()
+                1 / 0
+        assert sink._closed
+
+    def test_exit_still_raises_close_failures_on_a_clean_body(self, tmp_path):
+        with pytest.raises(StorageError, match="disk full"):
+            with CrawlStorage(tmp_path / "crawl.jsonl").open_sink(flush_every=100) as sink:
+                sink.write(sample_detection())
+                sink._handle = self.ExplodingHandle()
+
+    def test_engine_close_does_not_mask_a_crawl_error(self):
+        """CrawlEngine.__exit__ swallows teardown failures while an exception
+        is unwinding, and surfaces them on a clean exit."""
+        from repro.crawler.engine import CrawlEngine
+
+        class ExplodingBackend:
+            name = "exploding"
+            streams_inline = True
+
+            def prepare(self, context):
+                pass
+
+            def execute(self, shards, crawl_day, on_detection):
+                return iter(())
+
+            def shutdown(self):
+                raise RuntimeError("pool teardown failed")
+
+        engine = CrawlEngine.__new__(CrawlEngine)
+        engine.backend = ExplodingBackend()
+        with pytest.raises(ZeroDivisionError):
+            with engine:
+                1 / 0
+        with pytest.raises(RuntimeError, match="teardown"):
+            with engine:
+                pass
