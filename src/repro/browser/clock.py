@@ -14,6 +14,8 @@ __all__ = ["SimulatedClock"]
 class SimulatedClock:
     """A monotonically non-decreasing millisecond clock."""
 
+    __slots__ = ("_now_ms",)
+
     def __init__(self, start_ms: float = 0.0) -> None:
         if start_ms < 0:
             raise ValueError("clock cannot start before zero")

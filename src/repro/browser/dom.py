@@ -23,6 +23,8 @@ Listener = Callable[[DomEvent], None]
 class DomEventBus:
     """Ordered log of DOM events with passive subscription support."""
 
+    __slots__ = ("_clock", "_events", "_listeners", "_wildcard_listeners")
+
     def __init__(self, clock: SimulatedClock) -> None:
         self._clock = clock
         self._events: list[DomEvent] = []
@@ -78,3 +80,9 @@ class DomEventBus:
     def clear(self) -> None:
         """Drop recorded events (a fresh navigation in the same tab)."""
         self._events.clear()
+
+    def reset(self) -> None:
+        """Forget events *and* listeners, as if a new browser was started."""
+        self._events.clear()
+        self._listeners.clear()
+        self._wildcard_listeners.clear()

@@ -40,7 +40,7 @@ _BASELINE_RESOURCES: tuple[tuple[str, str], ...] = (
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Page:
     """A renderable page for one publisher."""
 

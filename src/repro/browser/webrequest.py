@@ -21,6 +21,8 @@ __all__ = ["WebRequestLog"]
 class WebRequestLog:
     """Ordered, append-only record of page network activity."""
 
+    __slots__ = ("_clock", "_requests")
+
     def __init__(self, clock: SimulatedClock) -> None:
         self._clock = clock
         self._requests: list[WebRequest] = []
@@ -35,8 +37,11 @@ class WebRequestLog:
         parameters are parsed out of the URL automatically so the detector can
         treat both uniformly.
         """
-        merged: dict[str, str] = parse_query(url)
-        merged.update({key: str(value) for key, value in (params or {}).items()})
+        # Most simulated URLs carry no query string; skip the urlsplit walk
+        # entirely for those (parse_query returns {} for them anyway).
+        merged: dict[str, str] = parse_query(url) if "?" in url else {}
+        if params:
+            merged.update({key: str(value) for key, value in params.items()})
         request = WebRequest(
             url=url,
             method=method.upper(),
@@ -52,8 +57,9 @@ class WebRequestLog:
                         status_code: int = 200, initiator: str = "",
                         timestamp_ms: float | None = None) -> WebRequest:
         """Record a response (or server push) arriving at the browser."""
-        merged: dict[str, str] = parse_query(url)
-        merged.update({key: str(value) for key, value in (params or {}).items()})
+        merged: dict[str, str] = parse_query(url) if "?" in url else {}
+        if params:
+            merged.update({key: str(value) for key, value in params.items()})
         request = WebRequest(
             url=url,
             method="RESPONSE",

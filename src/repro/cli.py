@@ -84,6 +84,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="crawl execution backend",
     )
     run.add_argument(
+        "--slow-path", action="store_true",
+        help="bypass the precompiled-site-profile fast path (reference mode; "
+        "detections are byte-identical, pages simulate slower)",
+    )
+    run.add_argument(
+        "--oversubscribe", type=_positive_int, default=4, metavar="N",
+        help="shards per worker for parallel crawls (default %(default)s; "
+        "bytes identical for any value; use 1 to resume checkpoints written "
+        "before this knob existed)",
+    )
+    run.add_argument(
         "--save", metavar="PATH", default=None,
         help="stream detections to this JSON-Lines file as the crawl progresses",
     )
@@ -259,6 +270,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             sink_flush_every=args.flush_every,
             checkpoint_path=args.checkpoint,
             resume=args.resume,
+            fast_path=not args.slow_path,
+            shard_oversubscribe=args.oversubscribe,
         )
         storage = CrawlStorage(args.save) if args.save else None
         artifacts = ExperimentRunner(config).run(storage=storage)

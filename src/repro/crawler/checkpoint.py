@@ -427,8 +427,11 @@ class CrawlCheckpointer:
             if plan_fingerprint(plan) != phase.plan_hash:
                 raise CheckpointError(
                     f"phase {crawl_day} was interrupted under a different shard "
-                    f"plan; resume it with the original worker count and site "
-                    f"list (finished phases may re-plan freely)"
+                    f"plan; resume it with the original worker count, shard "
+                    f"oversubscription factor and site list (finished phases "
+                    f"may re-plan freely; checkpoints from before the "
+                    f"shard_oversubscribe knob existed planned one shard per "
+                    f"worker — resume those with --oversubscribe 1)"
                 )
             skip = len(phase.completed_shards)
             expected_domains = tuple(

@@ -60,6 +60,18 @@ class CrawlConfig:
     #: writes fewer checkpoint files at the cost of re-crawling more shards
     #: after a crash; resumed bytes are identical for any value.
     checkpoint_every_shards: int = 1
+    #: Use precompiled site profiles and per-worker scratch buffers for page
+    #: simulation.  ``False`` selects the slow reference path that re-derives
+    #: every per-page input; detections are byte-identical either way (the
+    #: fast-path equivalence tests enforce it).
+    fast_path: bool = True
+    #: Parallel crawls (``workers > 1``) split the site list into
+    #: ``workers * shard_oversubscribe`` shards so that pool workers stay
+    #: busy despite the rank-correlated cost skew (high-rank shards carry
+    #: more HB sites and cost several times more than tail shards).  A
+    #: sequential crawl always uses a single shard.  Detections are
+    #: byte-identical for any value; only scheduling granularity changes.
+    shard_oversubscribe: int = 4
 
     def __post_init__(self) -> None:
         if self.page_load_timeout_ms <= 0:
@@ -72,6 +84,8 @@ class CrawlConfig:
             raise ConfigurationError("workers must be >= 1")
         if self.checkpoint_every_shards < 1:
             raise ConfigurationError("checkpoint_every_shards must be >= 1")
+        if self.shard_oversubscribe < 1:
+            raise ConfigurationError("shard_oversubscribe must be >= 1")
         if self.backend not in BACKEND_NAMES:
             raise ConfigurationError(
                 f"unknown backend {self.backend!r}; expected one of {', '.join(BACKEND_NAMES)}"

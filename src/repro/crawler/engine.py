@@ -8,16 +8,21 @@ sites.  This module splits a publisher list into deterministic shards
 the per-shard :class:`~repro.crawler.crawler.CrawlResult` objects back in
 canonical site order.
 
-Worker-scoped environment reuse
--------------------------------
+Worker-scoped environment reuse and shared-memory handoff
+---------------------------------------------------------
 Workers do **not** receive the environment and detector per shard.  Each
 backend builds a :class:`WorkerContext` once per worker — at pool start via
-the executor ``initializer`` hook — and shard tasks then ship only the
-:class:`CrawlShard` descriptor plus the visit index.  On the process backend
-the environment/detector payload is pickled exactly once per worker process
-(instead of once per shard per crawl); on the thread backend each worker
-thread owns one cheap :meth:`~repro.detector.detector.HBDetector.clone`
-(instead of a ``copy.deepcopy`` per shard).  Pools persist across
+the executor ``initializer`` hook — and shard tasks then ship only tiny
+descriptors.  On the process backend the environment/detector/config payload
+is serialised exactly once, into a ``multiprocessing.shared_memory`` block
+(:class:`SharedPayload`) every worker attaches to; each crawl's site list is
+published the same way, so warm re-crawls ship **zero** publisher bytes per
+task — a shard task is a handful of integers naming its slice of the shared
+list.  Blocks are refcounted and unlinked by ``shutdown()`` /
+:meth:`CrawlEngine.close`.  On the thread backend each worker thread owns
+one cheap :meth:`~repro.detector.detector.HBDetector.clone` (instead of a
+``copy.deepcopy`` per shard) and shares the engine's precompiled
+:class:`~repro.ecosystem.profiles.SiteProfileTable`.  Pools persist across
 :meth:`CrawlEngine.crawl` calls, so a 34-day longitudinal campaign pays the
 worker setup cost once, not once per day.  Call :meth:`CrawlEngine.close`
 (or use the engine as a context manager) to release pool workers.
@@ -50,11 +55,13 @@ more than one shard's tail of detections in memory.
 
 from __future__ import annotations
 
+import pickle
 import threading
 from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, ThreadPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Protocol, Sequence
 
+from repro.browser.engine import BrowserEngine
 from repro.crawler.crawler import BACKEND_NAMES, CrawlConfig, CrawlResult, ProgressCallback
 from repro.crawler.session import CrawlSession
 from repro.detector.detector import HBDetector
@@ -66,11 +73,13 @@ from repro.utils.rng import stable_hash
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
     from repro.crawler.checkpoint import CrawlCheckpointer
+    from repro.ecosystem.profiles import SiteProfileTable
 
 __all__ = [
     "CrawlShard",
     "CrawlPlan",
     "WorkerContext",
+    "SharedPayload",
     "ExecutionBackend",
     "SerialBackend",
     "ThreadPoolBackend",
@@ -119,17 +128,27 @@ class CrawlPlan:
         *,
         workers: int = 1,
         seed: int = 2019,
+        oversubscribe: int = 1,
     ) -> "CrawlPlan":
-        """Split ``publishers`` into at most ``workers`` balanced shards.
+        """Split ``publishers`` into balanced shards.
 
         The split is contiguous (shard *i* holds an unbroken run of the input
-        order) and a pure function of ``(publishers, workers, seed)``: the
-        first ``len(publishers) % n`` shards receive one extra site.
+        order) and a pure function of ``(publishers, workers, seed,
+        oversubscribe)``: the first ``len(publishers) % n`` shards receive
+        one extra site.  A parallel plan (``workers > 1``) produces up to
+        ``workers * oversubscribe`` shards, so pool workers keep pulling work
+        while an expensive high-rank shard is still running; a sequential
+        plan is always a single shard.  Merging in shard order reproduces the
+        canonical site order for any shard count, so detections are
+        byte-identical regardless of ``oversubscribe``.
         """
         if workers < 1:
             raise ConfigurationError("a crawl plan needs at least one worker")
+        if oversubscribe < 1:
+            raise ConfigurationError("a crawl plan needs oversubscribe >= 1")
         sites = list(publishers)
-        n_shards = max(1, min(workers, len(sites)))
+        slots = workers * oversubscribe if workers > 1 else 1
+        n_shards = max(1, min(slots, len(sites)))
         base, extra = divmod(len(sites), n_shards)
         shards = []
         start = 0
@@ -163,12 +182,47 @@ class WorkerContext:
     Built once per worker (not once per shard): the serial backend wraps the
     caller's own objects, the thread backend clones the detector per worker
     thread, and the process backend ships the context to each worker process
-    exactly once through the executor initializer.
+    exactly once through a shared-memory block.
+
+    ``profiles`` is the worker's precompiled :class:`SiteProfileTable`
+    (shared between worker threads, per-process for process workers);
+    ``browser`` is the worker's long-lived :class:`BrowserEngine`, which owns
+    the per-worker scratch context the fast path reuses across page loads.
+    Both are ``None`` when ``config.fast_path`` is off.
     """
 
     environment: AuctionEnvironment
     detector: HBDetector
     config: CrawlConfig
+    profiles: "SiteProfileTable | None" = None
+    browser: BrowserEngine | None = field(default=None, repr=False)
+
+    @classmethod
+    def build(
+        cls,
+        environment: AuctionEnvironment,
+        detector: HBDetector,
+        config: CrawlConfig,
+        *,
+        profiles: "SiteProfileTable | None" = None,
+    ) -> "WorkerContext":
+        """Assemble a context, compiling the profile table when fast-pathed."""
+        if config.fast_path and profiles is None:
+            from repro.ecosystem.profiles import SiteProfileTable
+
+            profiles = SiteProfileTable(environment, seed=config.seed)
+        context = cls(
+            environment=environment, detector=detector, config=config, profiles=profiles
+        )
+        if config.fast_path:
+            context.browser = BrowserEngine(
+                environment,
+                seed=config.seed,
+                page_load_timeout_ms=config.page_load_timeout_ms,
+                extra_dwell_ms=config.extra_dwell_ms,
+                profiles=profiles,
+            )
+        return context
 
 
 def _crawl_shard(
@@ -201,6 +255,7 @@ def _crawl_shard(
                 seed=config.seed,
                 page_load_timeout_ms=config.page_load_timeout_ms,
                 extra_dwell_ms=config.extra_dwell_ms,
+                engine=context.browser,
             )
             result.sessions_started += 1
         page = session.load(publisher, visit_index=crawl_day)
@@ -223,33 +278,166 @@ def _crawl_shard(
     return result
 
 
+# ---------------------------------------------------------------------------
+# Shared-memory payload handoff (process backend)
+
+
+class SharedPayload:
+    """One pickled object published in a ``multiprocessing.shared_memory`` block.
+
+    The parent process serialises the payload exactly once; worker processes
+    attach to the block by name, deserialise, and detach immediately.  The
+    creator keeps the only long-lived handle: :meth:`release` decrements the
+    refcount taken by :meth:`retain` and closes + unlinks the block when it
+    reaches zero (``CrawlEngine.close`` releases through the backend).
+    """
+
+    __slots__ = ("name", "size", "_shm", "_refs", "_finalizer", "__weakref__")
+
+    def __init__(self, payload: object) -> None:
+        import weakref
+        from multiprocessing import shared_memory
+
+        data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        self._shm = shared_memory.SharedMemory(create=True, size=max(1, len(data)))
+        self._shm.buf[: len(data)] = data
+        self.name = self._shm.name
+        self.size = len(data)
+        self._refs = 1
+        # Safety net: unlink at GC / interpreter exit even if the owner never
+        # reaches release() (e.g. a crashed crawl that skipped close()).
+        self._finalizer = weakref.finalize(self, _destroy_shared_block, self._shm)
+
+    def retain(self) -> "SharedPayload":
+        if self._shm is None:
+            raise ConfigurationError("cannot retain a released shared payload")
+        self._refs += 1
+        return self
+
+    def release(self) -> None:
+        if self._shm is None:
+            return
+        self._refs -= 1
+        if self._refs > 0:
+            return
+        shm, self._shm = self._shm, None
+        self._finalizer.detach()
+        _destroy_shared_block(shm)
+
+    @property
+    def live(self) -> bool:
+        return self._shm is not None
+
+
+def _destroy_shared_block(shm) -> None:
+    shm.close()
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass
+
+
+def _read_shared_payload(name: str, size: int) -> object:
+    """Attach to a shared block, deserialise its payload, detach (worker side).
+
+    Attaching normally *registers* the segment with the resource tracker
+    (CPython < 3.13 offers no ``track=False``), and the tracker — shared with
+    the parent — would then unlink a block the parent still owns when any
+    worker exits.  The attach is wrapped with registration suppressed; the
+    parent remains the sole owner.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    register, resource_tracker.register = resource_tracker.register, lambda *a, **k: None
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = register
+    try:
+        return pickle.loads(bytes(shm.buf[:size]))
+    finally:
+        shm.close()
+
+
 #: Per-process worker context, populated by the process pool initializer.
 #: Lives at module scope so shard tasks reach it without any per-task payload.
 _PROCESS_CONTEXT: WorkerContext | None = None
 
+#: Per-process cache of site lists received through shared memory, keyed by
+#: block name.  Bounded: a worker keeps the few most recent lists (a
+#: longitudinal campaign re-crawls the same list every day).
+_PROCESS_SITE_CACHE: dict[str, list[Publisher]] = {}
+_PROCESS_SITE_CACHE_LIMIT = 4
 
-def _init_process_worker(
-    environment: AuctionEnvironment, detector: HBDetector, config: CrawlConfig
-) -> None:
-    """Process pool initializer: unpickle the context once per worker process."""
+
+def _init_process_worker(payload_name: str, payload_size: int) -> None:
+    """Process pool initializer: read the worker context from shared memory.
+
+    The environment/detector/config payload is serialised once by the parent
+    (into the block every worker attaches to) instead of once per worker
+    through the initializer arguments; only the block's name and size travel
+    per worker.
+    """
     global _PROCESS_CONTEXT
-    _PROCESS_CONTEXT = WorkerContext(environment=environment, detector=detector, config=config)
+    environment, detector, config = _read_shared_payload(payload_name, payload_size)
+    _PROCESS_CONTEXT = WorkerContext.build(environment, detector, config)
+    _PROCESS_SITE_CACHE.clear()
+
+
+def _process_context() -> WorkerContext:
+    context = _PROCESS_CONTEXT
+    if context is None:  # pragma: no cover - initializer always runs first
+        raise RuntimeError("process worker used before its context was initialised")
+    return context
 
 
 def _run_shard_in_process(shard: CrawlShard, crawl_day: int) -> CrawlResult:
     """Entry point for process-pool shard tasks (only the descriptor ships)."""
-    context = _PROCESS_CONTEXT
-    if context is None:  # pragma: no cover - initializer always runs first
-        raise RuntimeError("process worker used before its context was initialised")
-    return _crawl_shard(context, crawl_day, None, shard)
+    return _crawl_shard(_process_context(), crawl_day, None, shard)
+
+
+def _run_shard_from_shared_sites(
+    sites_name: str,
+    sites_size: int,
+    index: int,
+    start: int,
+    length: int,
+    shard_seed: int,
+    crawl_day: int,
+) -> CrawlResult:
+    """Process-pool shard task whose publishers live in a shared site list.
+
+    The task ships a handful of integers and the block name; the worker
+    attaches to the published site list once, caches it, and slices its own
+    contiguous shard out of it — no per-shard publisher pickling at all.
+    """
+    sites = _PROCESS_SITE_CACHE.get(sites_name)
+    if sites is None:
+        sites = list(_read_shared_payload(sites_name, sites_size))
+        while len(_PROCESS_SITE_CACHE) >= _PROCESS_SITE_CACHE_LIMIT:
+            _PROCESS_SITE_CACHE.pop(next(iter(_PROCESS_SITE_CACHE)))
+        _PROCESS_SITE_CACHE[sites_name] = sites
+    shard = CrawlShard(
+        index=index,
+        start=start,
+        publishers=tuple(sites[start : start + length]),
+        shard_seed=shard_seed,
+    )
+    return _crawl_shard(_process_context(), crawl_day, None, shard)
 
 
 def _init_thread_worker(local: threading.local, prototype: WorkerContext) -> None:
-    """Thread pool initializer: give the worker thread its own detector clone."""
-    local.context = WorkerContext(
-        environment=prototype.environment,
-        detector=prototype.detector.clone(),
-        config=prototype.config,
+    """Thread pool initializer: give the worker thread its own detector clone.
+
+    The profile table is shared with the prototype (compilation is
+    deterministic and insertion is lock-guarded), but each thread owns its
+    browser engine — and with it the scratch context pages are simulated in.
+    """
+    local.context = WorkerContext.build(
+        prototype.environment,
+        prototype.detector.clone(),
+        prototype.config,
+        profiles=prototype.profiles,
     )
 
 
@@ -293,6 +481,11 @@ class ExecutionBackend(Protocol):
     def shutdown(self) -> None:
         """Release any pooled workers (idempotent)."""
         ...
+
+    # Backends may additionally expose ``publish_sites(sites)``: a hint,
+    # called once per crawl before ``execute``, that lets a backend ship the
+    # canonical site list to its workers out of band (the process backend
+    # publishes it in shared memory).  The engine treats it as optional.
 
 
 class SerialBackend:
@@ -442,23 +635,96 @@ class ThreadPoolBackend(_ExecutorBackend):
 class ProcessPoolBackend(_ExecutorBackend):
     """Fan shards out to persistent worker processes (true CPU parallelism).
 
-    The environment/detector/config payload is pickled exactly once per
-    worker process — by the pool initializer — after which shard tasks ship
-    only their :class:`CrawlShard` descriptor and the visit index.  Worker
-    processes are fully isolated from the caller by construction.
+    Worker processes start pickle-free: the environment/detector/config
+    payload is serialised exactly once — into a shared-memory block every
+    worker attaches to — and each crawl's site list is published the same
+    way, so shard tasks ship only a handful of integers instead of their
+    publishers.  Blocks are refcounted and unlinked on :meth:`shutdown`
+    (reached through ``CrawlEngine.close``).  Worker processes are fully
+    isolated from the caller by construction.
     """
 
     name = "process"
 
+    #: How many distinct published site lists to keep alive (a longitudinal
+    #: campaign alternates between at most a couple — discovery + re-crawl).
+    SITE_BLOCK_LIMIT = 4
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        super().__init__(max_workers)
+        self._payload: SharedPayload | None = None
+        # Published site lists: (sites, block), most recently used last.
+        self._site_blocks: list[tuple[list[Publisher], SharedPayload]] = []
+        self._current_sites: tuple[list[Publisher], SharedPayload] | None = None
+        #: Lifetime task counters: shard tasks that referenced a shared site
+        #: list vs tasks that had to ship their publishers (no published
+        #: list, or a list whose elements did not match the shard's).  The
+        #: benchmark reports these so a silent fall-off of the zero-copy
+        #: path is visible.
+        self.shared_site_tasks = 0
+        self.fallback_tasks = 0
+
+    def publish_sites(self, sites: Sequence[Publisher]) -> None:
+        """Publish the crawl's canonical site list in shared memory.
+
+        Re-publishing the same list (element-identical, the warm-crawl case)
+        reuses the existing block, so a 34-day campaign ships its population
+        across the process boundary once, not once per day.
+        """
+        sites = list(sites)
+        for position, (known, block) in enumerate(self._site_blocks):
+            if len(known) == len(sites) and all(a is b for a, b in zip(known, sites)):
+                self._site_blocks.append(self._site_blocks.pop(position))
+                self._current_sites = (known, block)
+                return
+        block = SharedPayload(sites)
+        self._site_blocks.append((sites, block))
+        self._current_sites = (sites, block)
+        while len(self._site_blocks) > self.SITE_BLOCK_LIMIT:
+            _, stale = self._site_blocks.pop(0)
+            stale.release()
+
     def _make_executor(self, context: WorkerContext, workers: int) -> Executor:
+        if self._payload is None or not self._payload.live:
+            self._payload = SharedPayload(
+                (context.environment, context.detector, context.config)
+            )
         return ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_process_worker,
-            initargs=(context.environment, context.detector, context.config),
+            initargs=(self._payload.name, self._payload.size),
         )
 
     def _submit(self, executor: Executor, shard: CrawlShard, crawl_day: int):
+        if self._current_sites is not None:
+            sites, block = self._current_sites
+            start, length = shard.start, len(shard.publishers)
+            if start + length <= len(sites) and all(
+                a is b for a, b in zip(sites[start : start + length], shard.publishers)
+            ):
+                self.shared_site_tasks += 1
+                return executor.submit(
+                    _run_shard_from_shared_sites,
+                    block.name,
+                    block.size,
+                    shard.index,
+                    start,
+                    length,
+                    shard.shard_seed,
+                    crawl_day,
+                )
+        self.fallback_tasks += 1
         return executor.submit(_run_shard_in_process, shard, crawl_day)
+
+    def shutdown(self) -> None:
+        super().shutdown()
+        if self._payload is not None:
+            self._payload.release()
+            self._payload = None
+        for _, block in self._site_blocks:
+            block.release()
+        self._site_blocks = []
+        self._current_sites = None
 
 
 def backend_from_name(name: str, *, workers: int | None = None) -> ExecutionBackend:
@@ -521,14 +787,15 @@ class CrawlEngine:
         self.backend = backend or backend_from_name(
             self.config.backend, workers=self.config.workers
         )
-        self._context = WorkerContext(
-            environment=self.environment, detector=self.detector, config=self.config
-        )
+        self._context = WorkerContext.build(self.environment, self.detector, self.config)
 
     def plan(self, publishers: Sequence[Publisher] | PublisherPopulation) -> CrawlPlan:
         """The shard plan this engine would use for ``publishers``."""
         return CrawlPlan.build(
-            publishers, workers=self.config.workers, seed=self.config.seed
+            publishers,
+            workers=self.config.workers,
+            seed=self.config.seed,
+            oversubscribe=self.config.shard_oversubscribe,
         )
 
     def close(self) -> None:
@@ -602,6 +869,11 @@ class CrawlEngine:
 
         inline = self.backend.streams_inline
         self.backend.prepare(self._context)
+        publish_sites = getattr(self.backend, "publish_sites", None)
+        if publish_sites is not None:
+            # The canonical order (shard concatenation) guarantees element
+            # identity between the published list and every shard slice.
+            publish_sites([p for shard in plan.shards for p in shard.publishers])
         sink_flush = getattr(sink, "flush", None) if sink is not None else None
         # Phase-cumulative counters for checkpointing (resumed prefix included).
         n_detections = len(prior.detections)

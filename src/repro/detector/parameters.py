@@ -61,12 +61,20 @@ class HBParameterSet:
         return slot_params.get("hb_size") or self.global_values.get("hb_size")
 
 
+#: Longest-first match order, hoisted: re-sorting per key was measurable on
+#: the crawl hot path (every parameter of every request passes through here).
+_HB_PARAMS_BY_LENGTH: tuple[str, ...] = tuple(sorted(HB_PARAM_NAMES, key=len, reverse=True))
+_HB_PARAM_SET: frozenset[str] = frozenset(HB_PARAM_NAMES)
+
+
 def _split_key(key: str) -> tuple[str, str | None]:
     """Split ``hb_bidder_div-gpt-ad-3`` into (``hb_bidder``, ``div-gpt-ad-3``).
 
     Returns ``(key, None)`` when the key carries no slot suffix.
     """
-    for base in sorted(HB_PARAM_NAMES, key=len, reverse=True):
+    if not key.startswith("hb_"):  # every HB parameter name does
+        return key, None
+    for base in _HB_PARAMS_BY_LENGTH:
         if key == base:
             return base, None
         if key.startswith(base + "_"):
@@ -80,7 +88,7 @@ def extract_hb_parameters(params: Mapping[str, str]) -> HBParameterSet:
     per_slot: dict[str, dict[str, str]] = {}
     for key, value in params.items():
         base, slot = _split_key(key)
-        if base not in HB_PARAM_NAMES:
+        if base not in _HB_PARAM_SET:
             continue
         if slot is None:
             global_values[base] = value
@@ -93,6 +101,6 @@ def has_hb_parameters(request: WebRequest) -> bool:
     """Quick check: does this request carry any HB key at all?"""
     for key in request.params:
         base, _ = _split_key(key)
-        if base in HB_PARAM_NAMES:
+        if base in _HB_PARAM_SET:
             return True
     return False

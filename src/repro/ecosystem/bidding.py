@@ -105,7 +105,7 @@ def popularity_price_multiplier(popularity_rank: int, total_partners: int) -> fl
     return 0.75 + 0.70 * position
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PricingModel:
     """Bundles the structural multipliers for one ecosystem configuration.
 

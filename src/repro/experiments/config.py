@@ -58,6 +58,15 @@ class ExperimentConfig:
     resume: bool = False
     #: Persist the checkpoint every N completed shard boundaries.
     checkpoint_every_shards: int = 1
+    #: Simulate pages through precompiled site profiles and per-worker
+    #: scratch buffers (the fast path).  ``False`` re-derives every per-page
+    #: input, the slow reference path; detections are byte-identical.
+    fast_path: bool = True
+    #: Shards per worker for parallel crawls (bytes identical for any
+    #: value).  Pass ``1`` to resume a parallel checkpoint written before
+    #: this knob existed (its mid-flight phase planned one shard per
+    #: worker).
+    shard_oversubscribe: int = 4
 
     def __post_init__(self) -> None:
         if self.total_sites < 10:
@@ -110,6 +119,8 @@ class ExperimentConfig:
             workers=self.workers,
             backend=self.crawl_backend,
             checkpoint_every_shards=self.checkpoint_every_shards,
+            fast_path=self.fast_path,
+            shard_oversubscribe=self.shard_oversubscribe,
         )
 
     def with_parallelism(self, workers: int, backend: str = "thread") -> "ExperimentConfig":

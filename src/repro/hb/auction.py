@@ -23,7 +23,7 @@ from repro.models import AdSlot, AdSlotSize, HBFacet, SaleChannel
 __all__ = ["BidOutcome", "SlotAuctionOutcome", "HeaderBiddingOutcome"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BidOutcome:
     """One partner's answer to one slot's bid request (ground truth)."""
 
@@ -56,7 +56,7 @@ class BidOutcome:
         return self.cpm is not None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SlotAuctionOutcome:
     """The complete ground truth for one auctioned ad slot."""
 
@@ -102,7 +102,7 @@ class SlotAuctionOutcome:
         return tuple(seen)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HeaderBiddingOutcome:
     """Ground truth for every auction run during one page load."""
 

@@ -17,6 +17,7 @@ from repro.ecosystem.partners import DemandPartner
 from repro.hb.auction import BidOutcome, HeaderBiddingOutcome, SlotAuctionOutcome
 from repro.hb.events import HBParam, price_bucket
 from repro.models import HBFacet, SaleChannel
+from repro.utils.rng import fast_uniform
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.hb.wrappers import HBWrapper
@@ -29,6 +30,7 @@ def run_server_side(wrapper: "HBWrapper") -> HeaderBiddingOutcome:
     context = wrapper.context
     publisher = wrapper.publisher
     environment = wrapper.environment
+    profile = wrapper.profile
     rng = context.rng
     facet = HBFacet.SERVER_SIDE
 
@@ -38,35 +40,51 @@ def run_server_side(wrapper: "HBWrapper") -> HeaderBiddingOutcome:
     slots = publisher.auctioned_slots
 
     # One outgoing request carrying every auctioned slot.
-    context.requests.record_outgoing(
-        f"https://{aggregator.primary_domain}/gampad/ads",
-        method="GET",
-        params={
+    if profile is not None and profile.server_request_params is not None:
+        request_url = profile.server_request_url
+        request_params: dict[str, object] = dict(profile.server_request_params)
+        request_params["correlator"] = auction_id
+    else:
+        request_url = f"https://{aggregator.primary_domain}/gampad/ads"
+        request_params = {
             "iu": f"/{publisher.domain}/front",
             "prev_iu_szs": "|".join(",".join(slot.accepted_labels) for slot in slots),
             "slot_count": str(len(slots)),
             "correlator": auction_id,
-        },
+        }
+    context.requests.record_outgoing(
+        request_url,
+        method="GET",
+        params=request_params,
         initiator=publisher.url,
         timestamp_ms=auction_start,
     )
 
     # The aggregator's backend consults its affiliated partners; the browser
     # only experiences the total round-trip latency of that single request.
-    round_trip = aggregator.latency.sample(rng, scale=publisher.latency_scale)
-    round_trip += aggregator.latency.sample(rng, scale=publisher.latency_scale * 0.35)
-    internal_bidders = environment.sample_internal_bidders(rng, exclude=(aggregator,))
+    if profile is not None and profile.aggregator_latency is not None:
+        round_trip = profile.aggregator_latency.sample(rng)
+        round_trip += profile.aggregator_internal.sample(rng)  # type: ignore[union-attr]
+        internal_bidders: list = profile.sample_internal_bidders(rng)
+    else:
+        round_trip = aggregator.latency.sample(rng, scale=publisher.latency_scale)
+        round_trip += aggregator.latency.sample(rng, scale=publisher.latency_scale * 0.35)
+        internal_bidders = environment.sample_internal_bidders(rng, exclude=(aggregator,))
     response_time = auction_start + round_trip
     context.clock.advance_to(response_time)
 
     slot_outcomes: list[SlotAuctionOutcome] = []
-    for slot in slots:
+    for slot_index, slot in enumerate(slots):
         internal_bids: list[tuple[DemandPartner, float | None]] = []
-        for partner in internal_bidders:
-            response = environment.partner_response(
-                rng, partner, slot, facet, latency_scale=publisher.latency_scale
-            )
-            internal_bids.append((partner, response.bid_cpm))
+        for bidder in internal_bidders:
+            if profile is not None:
+                response = bidder.respond(rng, slot_index, slot.code, slot.primary_size)
+                internal_bids.append((bidder.partner, response.bid_cpm))
+            else:
+                response = environment.partner_response(
+                    rng, bidder, slot, facet, latency_scale=publisher.latency_scale
+                )
+                internal_bids.append((bidder, response.bid_cpm))
         priced = [(partner, cpm) for partner, cpm in internal_bids if cpm is not None]
         winner: DemandPartner | None = None
         clearing_cpm = 0.0
@@ -80,7 +98,7 @@ def run_server_side(wrapper: "HBWrapper") -> HeaderBiddingOutcome:
             response_params[HBParam.SIZE.value] = slot.primary_size.label
             response_params[HBParam.SOURCE.value] = "s2s"
         context.requests.record_incoming(
-            f"https://{aggregator.primary_domain}/gampad/ads",
+            request_url,
             params=response_params,
             initiator=publisher.url,
             timestamp_ms=response_time,
@@ -116,11 +134,14 @@ def run_server_side(wrapper: "HBWrapper") -> HeaderBiddingOutcome:
         )
 
     # Render phase: only the displayable slots produce render events.
-    display_codes = {slot.code for slot in publisher.slots}
+    if profile is not None:
+        display_codes: frozenset[str] | set[str] = profile.display_codes
+    else:
+        display_codes = {slot.code for slot in publisher.slots}
     for outcome in slot_outcomes:
         if outcome.slot.code not in display_codes:
             continue
-        context.clock.advance(float(rng.uniform(20.0, 120.0)))
+        context.clock.advance(fast_uniform(rng, 20.0, 120.0))
         wrapper.emit_slot_render_ended(
             slot_code=outcome.slot.code,
             size_label=outcome.slot.primary_size.label,

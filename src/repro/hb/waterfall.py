@@ -22,7 +22,7 @@ which is why HBDetector can cleanly ignore it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
@@ -30,22 +30,33 @@ from repro.ecosystem.partners import DemandPartner
 from repro.ecosystem.registry import PartnerRegistry
 from repro.errors import AuctionError
 from repro.hb.environment import AuctionEnvironment
+from repro.ecosystem.profiles import (
+    AD_SERVER_PATH_SCALE,
+    WATERFALL_MAX_LEVELS,
+    WATERFALL_SLOT_SIZE_LABELS,
+    sample_without_replacement,
+    waterfall_fill_probability,
+    waterfall_head_size,
+)
 from repro.models import AdSlot, AdSlotSize, SaleChannel, STANDARD_SIZES
+from repro.utils.rng import fast_uniform
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.browser.context import BrowserContext
+    from repro.ecosystem.profiles import SiteWaterfall, WaterfallPartnerProfile
 
 __all__ = ["WaterfallAdNetwork", "WaterfallPassResult", "WaterfallOutcome", "run_waterfall",
-           "build_waterfall_chain", "AD_SERVER_PATH_SCALE"]
+           "build_waterfall_chain", "build_waterfall_chain_fast", "AD_SERVER_PATH_SCALE"]
 
 #: Waterfall passes run over the ad server's server-to-server connections to
 #: the ad networks (persistent, well-peered links), which are noticeably
 #: faster than the browser-to-bidder HTTP requests header bidding issues from
-#: the client.  This factor scales each pass's latency accordingly.
-AD_SERVER_PATH_SCALE: float = 0.6
+#: the client.  The factor itself is defined in
+#: :mod:`repro.ecosystem.profiles` (which precompiles with it) and
+#: re-exported here unchanged.
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WaterfallAdNetwork:
     """One level of the waterfall: an ad network with a priority and a floor."""
 
@@ -60,7 +71,7 @@ class WaterfallAdNetwork:
             raise AuctionError("floor CPM cannot be negative")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WaterfallPassResult:
     """What happened when one waterfall level was tried."""
 
@@ -70,7 +81,7 @@ class WaterfallPassResult:
     accepted: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WaterfallOutcome:
     """Ground truth of one waterfall-mediated ad-slot sale."""
 
@@ -90,7 +101,7 @@ def build_waterfall_chain(
     registry: PartnerRegistry,
     rng: np.random.Generator,
     *,
-    max_levels: int = 4,
+    max_levels: int = WATERFALL_MAX_LEVELS,
 ) -> tuple[WaterfallAdNetwork, ...]:
     """Construct a prioritised chain of ad networks for one publisher.
 
@@ -101,7 +112,7 @@ def build_waterfall_chain(
         raise AuctionError("a waterfall needs at least one level")
     partners = sorted(registry.partners, key=lambda p: p.popularity_weight, reverse=True)
     n_levels = int(rng.integers(1, max_levels + 1))
-    head = partners[: max(8, n_levels * 3)]
+    head = partners[: waterfall_head_size(n_levels)]
     weights = np.asarray([p.popularity_weight for p in head], dtype=float)
     weights = weights / weights.sum()
     chosen_idx = rng.choice(len(head), size=min(n_levels, len(head)), replace=False, p=weights)
@@ -110,6 +121,31 @@ def build_waterfall_chain(
     chosen.sort(key=lambda p: p.popularity_weight, reverse=True)
     return tuple(
         WaterfallAdNetwork(partner=partner, priority=level, floor_cpm=float(rng.uniform(0.02, 0.12)))
+        for level, partner in enumerate(chosen, start=1)
+    )
+
+
+def build_waterfall_chain_fast(
+    site_wf: "SiteWaterfall",
+    rng: np.random.Generator,
+) -> tuple[WaterfallAdNetwork, ...]:
+    """Chain construction over precompiled candidate tables.
+
+    Draws from the RNG exactly like :func:`build_waterfall_chain` (level
+    count, weighted choice, per-level floor) but reads the sorted candidate
+    pool and its normalised weights from the site's
+    :class:`~repro.ecosystem.profiles.SiteWaterfall` instead of re-sorting
+    the registry and re-normalising the weights per page.
+    """
+    n_levels = int(rng.integers(1, site_wf.max_levels + 1))
+    head, probabilities, cdf = site_wf.heads[n_levels - 1]
+    chosen_idx = sample_without_replacement(
+        rng, probabilities, cdf, min(n_levels, len(head))
+    )
+    chosen = [head[int(i)] for i in chosen_idx]
+    chosen.sort(key=lambda p: p.popularity_weight, reverse=True)
+    return tuple(
+        WaterfallAdNetwork(partner=partner, priority=level, floor_cpm=fast_uniform(rng, 0.02, 0.12))
         for level, partner in enumerate(chosen, start=1)
     )
 
@@ -123,7 +159,7 @@ def _rtb_price(environment: AuctionEnvironment, rng: np.random.Generator,
     why the waterfall usually terminates after a single round trip and stays
     fast compared to header bidding.
     """
-    fill_probability = min(0.95, 0.60 + partner.bidding.bid_probability)
+    fill_probability = waterfall_fill_probability(partner.bidding.bid_probability)
     if rng.random() > fill_probability:
         return None
     multiplier = environment.pricing.size_multiplier(size)
@@ -145,12 +181,18 @@ def run_waterfall(
     page_url: str = "",
     latency_scale: float = 1.0,
     real_user: bool = False,
+    compiled: "Mapping[str, WaterfallPartnerProfile] | None" = None,
 ) -> WaterfallOutcome:
     """Run the waterfall for one ad slot.
 
     When a browser ``context`` is supplied, the win notification is recorded in
     the web-request log (with RTB-style parameters), exactly the residue a
     passive observer can see of waterfall activity.
+
+    ``compiled`` maps partner names to precompiled
+    :class:`~repro.ecosystem.profiles.WaterfallPartnerProfile` samplers (the
+    fast path); networks found there skip the per-pass latency-scale and
+    price-multiplier derivations while consuming the RNG identically.
     """
     if not chain:
         raise AuctionError("cannot run a waterfall without any ad network")
@@ -163,9 +205,30 @@ def run_waterfall(
     for network in sorted(chain, key=lambda n: n.priority):
         # One ad-server-mediated round trip per level; the network's own RTB
         # auction happens within that round trip, over server-to-server links.
-        latency = network.partner.latency.sample(rng, scale=latency_scale * AD_SERVER_PATH_SCALE)
+        profile = compiled.get(network.partner.name) if compiled is not None else None
+        if profile is not None:
+            latency = profile.latency.sample(rng)
+            # Same draws as _rtb_price: fill check first, then the price.
+            if rng.random() > profile.fill_probability:
+                cpm = None
+            else:
+                mu = None if real_user else profile.cpm_mu_by_label.get(slot.primary_size.label)
+                if mu is not None:
+                    drawn = float(rng.lognormal(mean=mu, sigma=profile.cpm_sigma))
+                    cpm = round(max(drawn, 0.0001), 5)
+                else:  # unprofiled size / real-user pricing: derive per pass
+                    cpm = network.partner.bidding.sample_cpm(
+                        rng,
+                        slot.primary_size,
+                        size_multiplier=environment.pricing.size_multiplier(slot.primary_size),
+                        facet_multiplier=(
+                            6.0 if real_user else environment.pricing.vanilla_profile_multiplier
+                        ),
+                    )
+        else:
+            latency = network.partner.latency.sample(rng, scale=latency_scale * AD_SERVER_PATH_SCALE)
+            cpm = _rtb_price(environment, rng, network.partner, slot.primary_size, real_user=real_user)
         total_latency += latency
-        cpm = _rtb_price(environment, rng, network.partner, slot.primary_size, real_user=real_user)
         accepted = cpm is not None and cpm >= network.floor_cpm
         passes.append(WaterfallPassResult(network=network, latency_ms=latency, cpm=cpm,
                                           accepted=accepted))
@@ -178,9 +241,9 @@ def run_waterfall(
     if winner is None:
         # Remnant fallback (e.g. AdSense) fills at a low price after one more,
         # fast, round trip.
-        total_latency += float(rng.uniform(40.0, 120.0))
+        total_latency += fast_uniform(rng, 40.0, 120.0)
         winner = "backfill"
-        clearing = float(rng.uniform(0.005, 0.02))
+        clearing = fast_uniform(rng, 0.005, 0.02)
         channel = SaleChannel.FALLBACK
 
     if context is not None and channel is SaleChannel.RTB_WATERFALL:
@@ -208,8 +271,13 @@ def run_waterfall(
     )
 
 
+#: Sizes a non-HB ad slot draws from (hoisted: rebuilt per page previously).
+_DEFAULT_SLOT_SIZES: tuple[AdSlotSize, ...] = tuple(
+    size for size in STANDARD_SIZES if size.label in WATERFALL_SLOT_SIZE_LABELS
+)
+
+
 def default_waterfall_slot(rng: np.random.Generator, code: str = "waterfall-slot-0") -> AdSlot:
     """A representative slot for pages that serve ads without header bidding."""
-    sizes = [size for size in STANDARD_SIZES if size.label in ("300x250", "728x90", "160x600")]
-    primary = sizes[int(rng.integers(0, len(sizes)))]
+    primary = _DEFAULT_SLOT_SIZES[int(rng.integers(0, len(_DEFAULT_SLOT_SIZES)))]
     return AdSlot(code=code, primary_size=primary)

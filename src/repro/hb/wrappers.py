@@ -23,6 +23,7 @@ from repro.models import HBFacet, WrapperKind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.browser.context import BrowserContext
+    from repro.ecosystem.profiles import SiteProfile
 
 __all__ = ["HBWrapper", "build_wrapper"]
 
@@ -46,7 +47,8 @@ class HBWrapper:
     emits_auction_lifecycle: bool = True
 
     def __init__(self, publisher: Publisher, context: "BrowserContext",
-                 environment: AuctionEnvironment) -> None:
+                 environment: AuctionEnvironment,
+                 profile: "SiteProfile | None" = None) -> None:
         if not publisher.uses_hb:
             raise ConfigurationError(
                 f"cannot attach an HB wrapper to non-HB publisher {publisher.domain}"
@@ -54,6 +56,8 @@ class HBWrapper:
         self.publisher = publisher
         self.context = context
         self.environment = environment
+        #: Precompiled site inputs; ``None`` selects the per-page derivations.
+        self.profile = profile
 
     # -- event emission helpers ------------------------------------------------
     def _base_payload(self, **extra: object) -> dict[str, object]:
@@ -140,22 +144,25 @@ class HBWrapper:
         raise ConfigurationError(f"unknown HB facet: {facet!r}")
 
 
-@dataclass(frozen=True)
-class _WrapperSpec:
-    cls_path: str
+#: Wrapper class per library kind, resolved once (the concrete classes live in
+#: modules that import this one, hence the lazy first-call fill).
+_WRAPPER_CLASSES: dict[WrapperKind, type[HBWrapper]] = {}
 
 
 def build_wrapper(publisher: Publisher, context: "BrowserContext",
-                  environment: AuctionEnvironment) -> HBWrapper:
+                  environment: AuctionEnvironment,
+                  profile: "SiteProfile | None" = None) -> HBWrapper:
     """Instantiate the wrapper class matching the publisher's configuration."""
-    from repro.hb.gpt import GptWrapper
-    from repro.hb.prebid import PrebidWrapper
-    from repro.hb.pubfood import PubfoodWrapper
+    if not _WRAPPER_CLASSES:
+        from repro.hb.gpt import GptWrapper
+        from repro.hb.prebid import PrebidWrapper
+        from repro.hb.pubfood import PubfoodWrapper
 
-    if publisher.wrapper is WrapperKind.PREBID:
-        return PrebidWrapper(publisher, context, environment)
-    if publisher.wrapper is WrapperKind.GPT:
-        return GptWrapper(publisher, context, environment)
-    if publisher.wrapper is WrapperKind.PUBFOOD:
-        return PubfoodWrapper(publisher, context, environment)
-    return HBWrapper(publisher, context, environment)
+        _WRAPPER_CLASSES.update({
+            WrapperKind.PREBID: PrebidWrapper,
+            WrapperKind.GPT: GptWrapper,
+            WrapperKind.PUBFOOD: PubfoodWrapper,
+            WrapperKind.CUSTOM: HBWrapper,
+        })
+    cls = _WRAPPER_CLASSES.get(publisher.wrapper, HBWrapper)
+    return cls(publisher, context, environment, profile)

