@@ -89,6 +89,12 @@ def build_parser() -> argparse.ArgumentParser:
         "detections are byte-identical, pages simulate slower)",
     )
     run.add_argument(
+        "--columnar", action=argparse.BooleanOptionalAction, default=True,
+        help="simulate whole shards as numpy arrays (columnar batch path, "
+        "default on; --no-columnar keeps the page-at-a-time loop; "
+        "detections are byte-identical either way)",
+    )
+    run.add_argument(
         "--oversubscribe", type=_positive_int, default=4, metavar="N",
         help="shards per worker for parallel crawls (default %(default)s; "
         "bytes identical for any value; use 1 to resume checkpoints written "
@@ -271,6 +277,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             checkpoint_path=args.checkpoint,
             resume=args.resume,
             fast_path=not args.slow_path,
+            batch_sim=args.columnar,
             shard_oversubscribe=args.oversubscribe,
         )
         storage = CrawlStorage(args.save) if args.save else None

@@ -65,6 +65,12 @@ class CrawlConfig:
     #: every per-page input; detections are byte-identical either way (the
     #: fast-path equivalence tests enforce it).
     fast_path: bool = True
+    #: Simulate whole shards as numpy arrays (the columnar path) instead of
+    #: page-at-a-time objects.  Only takes effect together with
+    #: :attr:`fast_path` (the columnar compiler layers on the precompiled
+    #: site profiles); detections are byte-identical either way, the
+    #: columnar path is simply several times faster per page.
+    batch_sim: bool = True
     #: Parallel crawls (``workers > 1``) split the site list into
     #: ``workers * shard_oversubscribe`` shards so that pool workers stay
     #: busy despite the rank-correlated cost skew (high-rank shards carry

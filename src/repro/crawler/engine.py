@@ -245,6 +245,15 @@ def _crawl_shard(
     streaming, pool backends pass ``None`` and stream per completed shard.
     """
     environment, detector, config = context.environment, context.detector, context.config
+    if (
+        config.fast_path
+        and getattr(config, "batch_sim", False)
+        and context.browser is not None
+        and context.profiles is not None
+    ):
+        from repro.ecosystem.columnar import simulate_shard_columnar
+
+        return simulate_shard_columnar(context, crawl_day, on_detection, shard)
     detector.reset()
     result = CrawlResult()
     session: CrawlSession | None = None

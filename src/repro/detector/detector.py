@@ -91,7 +91,33 @@ class HBDetector:
         )
         dom = self._dom_inspector.inspect(list(dom_events))
         web = self._web_inspector.inspect(ordered_requests)
+        return self.detect_from_observations(
+            domain=domain,
+            rank=rank,
+            dom=dom,
+            web=web,
+            crawl_day=crawl_day,
+            page_load_ms=page_load_ms,
+        )
 
+    def detect_from_observations(
+        self,
+        *,
+        domain: str,
+        rank: int,
+        dom: DomObservations,
+        web: WebRequestObservations,
+        crawl_day: int = 0,
+        page_load_ms: float | None = None,
+    ) -> SiteDetection:
+        """Produce a :class:`SiteDetection` from pre-built observations.
+
+        This is the seam the columnar batch simulator uses: it synthesises
+        :class:`DomObservations` and :class:`WebRequestObservations` directly
+        (without materialising ``DomEvent``/``WebRequest`` objects) and hands
+        them to the same classification and reconstruction pipeline the
+        event-level :meth:`inspect` uses, so both paths cannot drift apart.
+        """
         facet = classify_facet(dom, web)
         if facet is None:
             return SiteDetection(

@@ -324,6 +324,9 @@ class SiteProfileTable:
         "_facet_multiplier_cache",
         "_waterfall_cache",
         "compiles",
+        # Weak-referenceable so the columnar simulator can key its compiled
+        # per-site cache on the table without pinning it alive.
+        "__weakref__",
     )
 
     def __init__(
@@ -368,9 +371,31 @@ class SiteProfileTable:
         return profile
 
     def precompile(self, publishers: Sequence[Publisher]) -> None:
-        """Eagerly compile a batch (used to warm tables outside the hot loop)."""
+        """Eagerly compile a batch (used to warm tables outside the hot loop).
+
+        Unlike a loop over :meth:`profile_for` (one lock acquisition per
+        site), this compiles every missing profile first and publishes the
+        whole batch under a single lock acquisition, so shard warm-up does
+        not serialize behind per-site locking.  A fully warm batch touches
+        the lock zero times.
+        """
+        profiles = self._profiles
+        fresh: list[tuple[str, SiteProfile]] = []
         for publisher in publishers:
-            self.profile_for(publisher)
+            profile = profiles.get(publisher.domain)
+            if profile is not None and (
+                profile.publisher is publisher or profile.publisher == publisher
+            ):
+                continue
+            fresh.append((publisher.domain, self._compile(publisher)))
+        if not fresh:
+            return
+        with self._lock:
+            for domain, profile in fresh:
+                if len(profiles) >= self.max_sites and domain not in profiles:
+                    for evicted in list(profiles)[: self.max_sites // 2]:
+                        del profiles[evicted]
+                profiles[domain] = profile
 
     # -- compilation helpers -------------------------------------------------
     def _latency_draws(self, partner: DemandPartner, scale: float) -> tuple[LatencyDraw, LatencyDraw]:

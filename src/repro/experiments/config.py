@@ -62,6 +62,10 @@ class ExperimentConfig:
     #: scratch buffers (the fast path).  ``False`` re-derives every per-page
     #: input, the slow reference path; detections are byte-identical.
     fast_path: bool = True
+    #: Simulate whole shards as numpy arrays (the columnar batch path,
+    #: layered on the fast path's precompiled profiles).  ``False`` keeps
+    #: the page-at-a-time loop; detections are byte-identical.
+    batch_sim: bool = True
     #: Shards per worker for parallel crawls (bytes identical for any
     #: value).  Pass ``1`` to resume a parallel checkpoint written before
     #: this knob existed (its mid-flight phase planned one shard per
@@ -120,6 +124,7 @@ class ExperimentConfig:
             backend=self.crawl_backend,
             checkpoint_every_shards=self.checkpoint_every_shards,
             fast_path=self.fast_path,
+            batch_sim=self.batch_sim,
             shard_oversubscribe=self.shard_oversubscribe,
         )
 

@@ -13,13 +13,13 @@ from typing import TYPE_CHECKING
 from repro.ecosystem.publishers import Publisher
 from repro.hb.auction import HeaderBiddingOutcome
 from repro.hb.environment import AuctionEnvironment
-from repro.hb.wrappers import build_wrapper
+from repro.hb.wrappers import build_wrapper, wrapper_class_for
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.browser.context import BrowserContext
     from repro.ecosystem.profiles import SiteProfile
 
-__all__ = ["run_header_bidding"]
+__all__ = ["run_header_bidding", "wrapper_traits"]
 
 
 def run_header_bidding(
@@ -40,3 +40,15 @@ def run_header_bidding(
         return None
     wrapper = build_wrapper(publisher, context, environment, profile=profile)
     return wrapper.run()
+
+
+def wrapper_traits(publisher: Publisher) -> tuple[str, bool]:
+    """``(library_name, emits_auction_lifecycle)`` for the publisher's wrapper.
+
+    The columnar batch simulator needs exactly these two class-level
+    observables to reproduce the wrapper's DOM-event footprint without
+    instantiating one; routing the lookup through here keeps the dispatch
+    table in :mod:`repro.hb.wrappers` the single source of truth.
+    """
+    cls = wrapper_class_for(publisher.wrapper)
+    return cls.library_name, cls.emits_auction_lifecycle

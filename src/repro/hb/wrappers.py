@@ -25,7 +25,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.browser.context import BrowserContext
     from repro.ecosystem.profiles import SiteProfile
 
-__all__ = ["HBWrapper", "build_wrapper"]
+__all__ = ["HBWrapper", "build_wrapper", "wrapper_class_for"]
 
 
 class HBWrapper:
@@ -149,10 +149,14 @@ class HBWrapper:
 _WRAPPER_CLASSES: dict[WrapperKind, type[HBWrapper]] = {}
 
 
-def build_wrapper(publisher: Publisher, context: "BrowserContext",
-                  environment: AuctionEnvironment,
-                  profile: "SiteProfile | None" = None) -> HBWrapper:
-    """Instantiate the wrapper class matching the publisher's configuration."""
+def wrapper_class_for(kind: WrapperKind) -> type[HBWrapper]:
+    """The wrapper class modelling the given library family.
+
+    Exposed separately from :func:`build_wrapper` so code that only needs the
+    class-level observables (``library_name``, ``emits_auction_lifecycle``)
+    — e.g. the columnar batch simulator — can read them without
+    instantiating a wrapper against a live browser context.
+    """
     if not _WRAPPER_CLASSES:
         from repro.hb.gpt import GptWrapper
         from repro.hb.prebid import PrebidWrapper
@@ -164,5 +168,12 @@ def build_wrapper(publisher: Publisher, context: "BrowserContext",
             WrapperKind.PUBFOOD: PubfoodWrapper,
             WrapperKind.CUSTOM: HBWrapper,
         })
-    cls = _WRAPPER_CLASSES.get(publisher.wrapper, HBWrapper)
+    return _WRAPPER_CLASSES.get(kind, HBWrapper)
+
+
+def build_wrapper(publisher: Publisher, context: "BrowserContext",
+                  environment: AuctionEnvironment,
+                  profile: "SiteProfile | None" = None) -> HBWrapper:
+    """Instantiate the wrapper class matching the publisher's configuration."""
+    cls = wrapper_class_for(publisher.wrapper)
     return cls(publisher, context, environment, profile)

@@ -484,9 +484,28 @@ class TestFacadeAndScheduler:
                 events.append(("write", detection.domain))
 
         sites = list(small_population)[:4]
-        engine = CrawlEngine(environment, detector, CrawlConfig(seed=5))
+        # batch_sim=False: the session spy observes the per-page reference
+        # loop.  The columnar path never builds sessions; its page-granular
+        # streaming is asserted separately below.
+        engine = CrawlEngine(environment, detector, CrawlConfig(seed=5, batch_sim=False))
         engine.crawl(sites, sink=ListSink())
         expected = []
         for publisher in sites:
             expected += [("load", publisher.domain), ("write", publisher.domain)]
         assert events == expected
+
+    def test_serial_columnar_streams_page_by_page(
+        self, environment, detector, small_population
+    ):
+        """The columnar shard simulator fires on_detection after every page,
+        so a serial sink still sees one write per site, in site order."""
+        writes = []
+
+        class ListSink:
+            def write(self, detection):
+                writes.append(detection.domain)
+
+        sites = list(small_population)[:4]
+        engine = CrawlEngine(environment, detector, CrawlConfig(seed=5))
+        engine.crawl(sites, sink=ListSink())
+        assert writes == [publisher.domain for publisher in sites]

@@ -71,25 +71,77 @@ def reference(workload, environment, detector, tmp_path_factory):
 
 
 class TestFastPathEquivalence:
+    @pytest.mark.parametrize("batch_sim", [True, False], ids=["columnar", "scalar"])
     @pytest.mark.parametrize("backend,workers", [
         ("serial", 1),
         ("thread", 3),
         ("process", 2),
     ])
     def test_sink_bytes_and_metrics_identical(
-        self, workload, reference, environment, detector, tmp_path, backend, workers
+        self, workload, reference, environment, detector, tmp_path, backend, workers,
+        batch_sim,
     ):
+        """Both fast paths — columnar batch (default) and the scalar per-page
+        loop it superseded — must match the slow reference byte-for-byte."""
         seed, sites = workload
         ref_bytes, ref_json, ref_metrics = reference
         storage = CrawlStorage(tmp_path / "fast.jsonl")
-        config = CrawlConfig(seed=seed, workers=workers, backend=backend)
+        config = CrawlConfig(
+            seed=seed, workers=workers, backend=backend, batch_sim=batch_sim
+        )
         assert config.fast_path  # the default IS the fast path
+        assert CrawlConfig(seed=seed).batch_sim  # ... and columnar is its default
         with CrawlEngine(environment, detector, config) as engine, \
                 storage.open_sink() as sink:
             result = engine.crawl(sites, sink=sink)
         assert serialise(result.detections) == ref_json
         assert storage.path.read_bytes() == ref_bytes
         assert metric_texts(storage.path) == ref_metrics
+
+    @pytest.mark.parametrize("backend,workers,fail_after", [
+        ("serial", 1, 1),
+        ("thread", 3, 2),
+        ("process", 2, 1),
+    ])
+    def test_columnar_checkpoint_resume_stays_identical(
+        self, workload, reference, environment, detector, tmp_path, backend, workers,
+        fail_after,
+    ):
+        """A columnar crawl killed mid-campaign and resumed must reproduce
+        the reference bytes — resume replays only the missing shards, so the
+        recovered prefix and the resumed tail must agree on every boundary."""
+        from tests.crash_harness import interrupted_then_resumed
+
+        seed, sites = workload
+        ref_bytes, ref_json, ref_metrics = reference
+        config = CrawlConfig(seed=seed, workers=workers, backend=backend)
+        assert config.batch_sim
+        result, storage = interrupted_then_resumed(
+            environment, detector, config, sites,
+            tmp_path=tmp_path, fail_after=fail_after,
+        )
+        assert serialise(result.detections) == ref_json
+        assert storage.path.read_bytes() == ref_bytes
+        assert metric_texts(storage.path) == ref_metrics
+
+    def test_columnar_resume_finishes_a_scalar_crawl(
+        self, workload, reference, environment, detector, tmp_path
+    ):
+        """The two fast paths are interchangeable across a crash boundary:
+        a crawl started on the scalar loop may be resumed columnar (the
+        default after an upgrade) without perturbing a single byte."""
+        from tests.crash_harness import interrupted_then_resumed
+
+        seed, sites = workload
+        ref_bytes, ref_json, _ = reference
+        result, storage = interrupted_then_resumed(
+            environment, detector,
+            CrawlConfig(seed=seed, workers=3, backend="thread", batch_sim=False),
+            sites, tmp_path=tmp_path, fail_after=2,
+            resume_config=CrawlConfig(seed=seed, workers=3, backend="thread"),
+        )
+        assert serialise(result.detections) == ref_json
+        assert storage.path.read_bytes() == ref_bytes
 
     def test_fast_path_warm_engine_stays_identical(
         self, workload, reference, environment, detector

@@ -166,6 +166,48 @@ class TestSiteProfileTable:
             table.profile_for(publisher)
         assert len(table) <= 8
 
+    def test_precompile_batches_under_one_lock_acquisition(
+        self, environment, small_population
+    ):
+        """Warming N fresh sites takes ONE lock acquisition, not N — and a
+        fully warm batch takes zero.  This is the serialization fix the
+        columnar path leans on at every shard start."""
+        import threading
+
+        class CountingLock:
+            def __init__(self):
+                self.inner = threading.Lock()
+                self.acquisitions = 0
+
+            def __enter__(self):
+                self.acquisitions += 1
+                return self.inner.__enter__()
+
+            def __exit__(self, *exc):
+                return self.inner.__exit__(*exc)
+
+        table = SiteProfileTable(environment, seed=13)
+        lock = CountingLock()
+        table._lock = lock
+        sites = list(small_population)[:24]
+        table.precompile(sites)
+        assert table.compiles == len(sites)
+        # One acquisition publishes the whole batch; compiling also fills the
+        # shared waterfall cache once per distinct non-HB latency scale.
+        waterfall_fills = len({p.latency_scale for p in sites if not p.uses_hb})
+        assert lock.acquisitions == 1 + waterfall_fills
+        for publisher in sites:
+            assert table.profile_for(publisher).publisher is publisher
+
+        table.precompile(sites)  # warm: no compiles, no lock traffic
+        assert table.compiles == len(sites)
+        assert lock.acquisitions == 1 + waterfall_fills
+
+    def test_precompile_respects_the_site_bound(self, environment, small_population):
+        table = SiteProfileTable(environment, seed=13, max_sites=8)
+        table.precompile(list(small_population)[:20])
+        assert len(table) <= 8
+
     def test_seed_mismatch_refused_by_browser_engine(self, environment):
         from repro.browser.engine import BrowserEngine
 
