@@ -22,6 +22,7 @@ call :meth:`invalidate_indices` afterwards.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Hashable, Iterable, Iterator
@@ -60,6 +61,15 @@ class CrawlDataset:
     _aux: dict[str, Any] = field(default_factory=dict, init=False, repr=False, compare=False)
     #: How many index builds have happened (cache misses); for benchmarks.
     _index_builds: int = field(default=0, init=False, repr=False, compare=False)
+    #: Guards the index cache against concurrent :meth:`extend`: a service
+    #: thread folding freshly-tailed detections in must never interleave with
+    #: a request thread building or reading an index.  Reentrant because an
+    #: index build goes through the other accessors.  Single-threaded callers
+    #: pay one uncontended acquire per *accessor call* (not per record), so
+    #: the crawl/analyze hot paths are unaffected.
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, init=False, repr=False, compare=False
+    )
 
     # -- construction ----------------------------------------------------------
     @classmethod
@@ -81,32 +91,45 @@ class CrawlDataset:
         return cls.from_detections(storage.iter_load(), label=label or Path(path).stem)
 
     def extend(self, detections: Iterable[SiteDetection]) -> None:
-        """Append detections, updating every cached index in place (O(Δ))."""
+        """Append detections, updating every cached index in place (O(Δ)).
+
+        Thread-safe with respect to the index accessors: the whole
+        append-and-fold runs under the dataset lock, so a reader never sees
+        an index mid-update.  Lists/dicts handed out *before* an extend keep
+        growing in place (that is the point of the incremental design);
+        callers that iterate them concurrently with a live extend should do
+        so under their own lock, as :class:`repro.service.store.DetectionStore`
+        does.
+        """
         new = list(detections)
         if not new:
             return
-        self.detections.extend(new)
-        if self._indices:
-            self._apply_delta(new)
+        with self._lock:
+            self.detections.extend(new)
+            if self._indices:
+                self._apply_delta(new)
 
     # -- index cache -------------------------------------------------------------
     def _index(self, key: Hashable, build: Callable[[], Any]) -> Any:
-        try:
-            return self._indices[key]
-        except KeyError:
-            value = build()
-            self._indices[key] = value
-            self._index_builds += 1
-            return value
+        with self._lock:
+            try:
+                return self._indices[key]
+            except KeyError:
+                value = build()
+                self._indices[key] = value
+                self._index_builds += 1
+                return value
 
     def invalidate_indices(self) -> None:
         """Drop every cached view (call after mutating :attr:`detections`)."""
-        self._indices.clear()
-        self._aux.clear()
+        with self._lock:
+            self._indices.clear()
+            self._aux.clear()
 
     def index_stats(self) -> dict[str, int]:
         """Cache introspection: currently cached views and lifetime builds."""
-        return {"cached": len(self._indices), "builds": self._index_builds}
+        with self._lock:
+            return {"cached": len(self._indices), "builds": self._index_builds}
 
     # -- incremental maintenance ---------------------------------------------------
     def _apply_delta(self, new: list[SiteDetection]) -> None:
@@ -454,7 +477,6 @@ class CrawlDataset:
 
     def filter(self, predicate: Callable[[SiteDetection], bool], *, label: str | None = None) -> "CrawlDataset":
         """A new dataset restricted to detections matching ``predicate``."""
-        return CrawlDataset(
-            detections=[d for d in self.detections if predicate(d)],
-            label=label or self.label,
-        )
+        with self._lock:
+            kept = [d for d in self.detections if predicate(d)]
+        return CrawlDataset(detections=kept, label=label or self.label)

@@ -10,6 +10,7 @@ requested artefacts, which is the quickest way to see the pipeline working::
     hbrepro analyze crawl.jsonl --artifact table1 fig12
     hbrepro analyze crawl.jsonl --watch --interval 2
     hbrepro historical --sites 400
+    hbrepro serve --port 8710 --data-dir campaigns
     hbrepro list
 
 Artefact names resolve through the central metric registry
@@ -158,6 +159,31 @@ def build_parser() -> argparse.ArgumentParser:
     historical.add_argument("--sites", type=int, default=500, help="sites per yearly top list")
     historical.add_argument("--seed", type=int, default=2019, help="random seed")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the crawl-as-a-service HTTP campaign server",
+        description="Serve the campaign API: submit ExperimentConfig campaigns "
+        "over HTTP, query their detections, download artefacts, and stream "
+        "live progress over server-sent events.",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default %(default)s)")
+    serve.add_argument(
+        "--port", type=int, default=8710,
+        help="TCP port (default %(default)s; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--data-dir", default="campaigns", metavar="DIR",
+        help="root directory for per-campaign working directories (default %(default)s)",
+    )
+    serve.add_argument(
+        "--max-parallel", type=_positive_int, default=1, metavar="N",
+        help="campaigns crawling at once; the rest wait queued (default %(default)s)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true",
+        help="log every HTTP request to stderr",
+    )
+
     sub.add_parser("list", help="list every artefact the run and analyze commands can print")
     return parser
 
@@ -220,6 +246,43 @@ def _watch(
     return 0
 
 
+def _serve(args: argparse.Namespace) -> int:
+    """Run the campaign service until interrupted; exit gracefully.
+
+    SIGTERM is translated into :class:`KeyboardInterrupt` so ``kill`` and
+    Ctrl-C take the same path: stop accepting requests, cancel in-flight
+    campaigns (each checkpoints its last shard boundary and stays
+    resumable), then close the sockets.
+    """
+    import signal
+
+    from repro.service.api import ReproServiceServer
+
+    def _sigterm(signum, frame):  # pragma: no cover - signal plumbing
+        raise KeyboardInterrupt
+
+    try:
+        server = ReproServiceServer(
+            (args.host, args.port),
+            data_dir=args.data_dir,
+            max_parallel=args.max_parallel,
+            verbose=args.verbose,
+        )
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+    previous = signal.signal(signal.SIGTERM, _sigterm)
+    print(f"serving campaigns at {server.base_url} (data dir: {args.data_dir})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down: checkpointing in-flight campaigns...", flush=True)
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        server.close()
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -247,6 +310,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         context = AnalysisContext(historical=historical)
         print(compute_metric("fig04", context).text)
         return 0
+
+    if args.command == "serve":
+        return _serve(args)
 
     if args.command == "analyze":
         try:

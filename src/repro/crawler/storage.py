@@ -348,6 +348,22 @@ class CrawlStorage:
         except OSError as exc:
             raise StorageError(f"could not read {self.path}: {exc}") from exc
 
+    def size(self) -> int:
+        """Current byte size of the dataset file (``0`` when it is missing).
+
+        A cheap staleness probe for pollers: a tailing loop (the service's
+        SSE stream, ``analyze --watch``) can compare ``size()`` against its
+        read offset and skip opening + reading the file entirely when nothing
+        new has been flushed.  ``size() > offset`` does not promise a
+        complete record — a flush may land mid-line — only that
+        :meth:`read_new` is worth calling; ``size() < offset`` means the file
+        was truncated or replaced and the next :meth:`read_new` will raise.
+        """
+        try:
+            return self.path.stat().st_size
+        except OSError:
+            return 0
+
     def read_new(self, offset: int = 0) -> tuple[list[SiteDetection], int]:
         """Read complete records appended at or after byte ``offset``.
 
@@ -357,6 +373,14 @@ class CrawlStorage:
         partial line — a sink may flush mid-crawl at any byte — is left for
         the next call.  A missing file simply yields nothing, so a watcher
         can start before the crawl's first flush.
+
+        Safe for one reader concurrent with one appending writer (a
+        :class:`DetectionSink` on another thread or process): a flush that
+        lands *during* the read is seen either not at all or as a (possibly
+        partial) suffix of the chunk, and everything after the last newline
+        is deferred to the next call — so a record is never returned torn or
+        twice, and the returned offset always falls on a record boundary.
+        Only truncating/replacing the file under the reader raises.
         """
         if offset < 0:
             raise StorageError("read offset cannot be negative")

@@ -62,6 +62,33 @@ class StorageError(ReproError):
     """Reading or writing a crawl dataset on disk failed."""
 
 
+class ServiceError(ReproError):
+    """The campaign service was asked to do something it cannot."""
+
+
+class UnknownCampaignError(ServiceError):
+    """A campaign id was requested that the service does not know."""
+
+    def __init__(self, campaign_id: str) -> None:
+        super().__init__(f"unknown campaign: {campaign_id!r}")
+        self.campaign_id = campaign_id
+
+
+class CampaignStateError(ServiceError):
+    """A campaign transition was requested from a state that forbids it."""
+
+
+class CampaignCancelled(CrawlError):
+    """Internal control-flow signal: a campaign's crawl was cancelled.
+
+    Raised from inside the cancelled campaign's sink at the next detection
+    write, unwinding the crawl through the engine's normal error path — the
+    last shard-boundary checkpoint stays on disk, so the campaign is
+    resumable.  Never surfaces to service clients; the campaign manager
+    catches it and marks the campaign ``cancelled``.
+    """
+
+
 class AnalysisError(ReproError):
     """An analysis was requested on data that cannot support it."""
 

@@ -14,6 +14,7 @@ figure.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Mapping
@@ -60,8 +61,12 @@ class ExperimentArtifacts:
 #: LRU: long-lived processes that sweep many configurations (parameter
 #: scans, services) evict the least recently used run instead of growing
 #: without limit.  Each entry holds a full simulated-Web run, so the cap is
-#: deliberately small.
+#: deliberately small.  All access goes through :func:`_cache_get` /
+#: :func:`_cache_put` under :data:`_ARTIFACT_CACHE_LOCK`: the OrderedDict
+#: move-to-end/evict dance is not atomic, and the HTTP service hits the
+#: cache from many request threads at once.
 _ARTIFACT_CACHE: "OrderedDict[tuple, ExperimentArtifacts]" = OrderedDict()
+_ARTIFACT_CACHE_LOCK = threading.Lock()
 ARTIFACT_CACHE_MAX_ENTRIES = 8
 
 
@@ -79,17 +84,19 @@ def _run_cache_key(config: ExperimentConfig) -> tuple:
 
 
 def _cache_get(key: tuple) -> ExperimentArtifacts | None:
-    artifacts = _ARTIFACT_CACHE.get(key)
-    if artifacts is not None:
-        _ARTIFACT_CACHE.move_to_end(key)
-    return artifacts
+    with _ARTIFACT_CACHE_LOCK:
+        artifacts = _ARTIFACT_CACHE.get(key)
+        if artifacts is not None:
+            _ARTIFACT_CACHE.move_to_end(key)
+        return artifacts
 
 
 def _cache_put(key: tuple, artifacts: ExperimentArtifacts) -> None:
-    _ARTIFACT_CACHE[key] = artifacts
-    _ARTIFACT_CACHE.move_to_end(key)
-    while len(_ARTIFACT_CACHE) > ARTIFACT_CACHE_MAX_ENTRIES:
-        _ARTIFACT_CACHE.popitem(last=False)
+    with _ARTIFACT_CACHE_LOCK:
+        _ARTIFACT_CACHE[key] = artifacts
+        _ARTIFACT_CACHE.move_to_end(key)
+        while len(_ARTIFACT_CACHE) > ARTIFACT_CACHE_MAX_ENTRIES:
+            _ARTIFACT_CACHE.popitem(last=False)
 
 
 class ExperimentRunner:
@@ -233,9 +240,11 @@ class ExperimentRunner:
 
 def clear_artifact_cache() -> None:
     """Drop memoised experiment artifacts (used by tests that vary configs)."""
-    _ARTIFACT_CACHE.clear()
+    with _ARTIFACT_CACHE_LOCK:
+        _ARTIFACT_CACHE.clear()
 
 
 def artifact_cache_size() -> int:
     """How many experiment runs are currently memoised."""
-    return len(_ARTIFACT_CACHE)
+    with _ARTIFACT_CACHE_LOCK:
+        return len(_ARTIFACT_CACHE)

@@ -1,0 +1,37 @@
+"""Crawl-as-a-service: the HTTP campaign server and its supporting layers.
+
+Layered strictly as routes → services → store:
+
+- :mod:`repro.service.api` — the stdlib ``ThreadingHTTPServer`` route layer
+  (JSON in/out, SSE streaming, error mapping);
+- :mod:`repro.service.campaigns` — the :class:`CampaignManager` running
+  submitted :class:`~repro.experiments.config.ExperimentConfig` campaigns on
+  background threads through the existing crawler/checkpoint machinery;
+- :mod:`repro.service.store` — the thread-safe :class:`DetectionStore`
+  answering filtered detection queries and metric snapshots over a
+  campaign's streaming sink;
+- :mod:`repro.service.client` — a ``urllib``-only :class:`ServiceClient`
+  for tests, examples and benchmarks.
+
+Start a server with ``hbrepro serve`` or, in-process::
+
+    from repro.service import running_server
+    with running_server("/tmp/campaigns") as server:
+        ...  # hit server.base_url
+"""
+
+from repro.service.api import ReproServiceServer, running_server
+from repro.service.campaigns import Campaign, CampaignManager
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.store import DetectionQuery, DetectionStore
+
+__all__ = [
+    "Campaign",
+    "CampaignManager",
+    "DetectionQuery",
+    "DetectionStore",
+    "ReproServiceServer",
+    "ServiceClient",
+    "ServiceClientError",
+    "running_server",
+]

@@ -1,0 +1,432 @@
+"""Campaign lifecycle management.
+
+The campaign manager is the service's write side: it accepts
+:class:`~repro.experiments.config.ExperimentConfig` submissions, runs each
+campaign on a background thread through the existing
+:class:`~repro.experiments.runner.ExperimentRunner` / checkpoint machinery,
+and tracks the state machine
+
+    queued -> running -> done
+                      -> failed
+    queued/running ----> cancelled        (resumable)
+    cancelled/failed --> queued           (resume())
+
+Every campaign gets its own working directory under the manager's root with
+the streaming sink (``detections.jsonl``), the shard-boundary checkpoint
+(``crawl.ckpt``) and a ``campaign.json`` record of the submitted
+configuration.  Cancellation is cooperative and crash-equivalent: a flag is
+raised and the campaign's sink throws :class:`~repro.errors.CampaignCancelled`
+at the next detection write, unwinding the crawl through the same path a
+SIGKILL would — the last shard-boundary checkpoint survives, so
+:meth:`CampaignManager.resume` continues the campaign byte-identically (the
+PR-4 resume guarantee).  :meth:`CampaignManager.shutdown` cancels everything
+in flight the same way, which is what makes stopping the server graceful.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.crawler.storage import CrawlStorage, DetectionSink
+from repro.errors import (
+    CampaignCancelled,
+    CampaignStateError,
+    ConfigurationError,
+    ReproError,
+    ServiceError,
+    UnknownCampaignError,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentRunner
+from repro.service.store import DetectionStore
+
+__all__ = [
+    "CAMPAIGN_STATES",
+    "TERMINAL_STATES",
+    "Campaign",
+    "CampaignManager",
+    "campaign_config_from_dict",
+    "campaign_config_to_dict",
+]
+
+#: Every state a campaign can be in.
+CAMPAIGN_STATES = ("queued", "running", "done", "failed", "cancelled")
+#: States a campaign never leaves on its own (``resume()`` can re-queue
+#: ``failed`` and ``cancelled``).
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+#: Submission keys accepted as shorthand for the config field they set
+#: (mirroring the CLI flag names, so a curl body reads like a run command).
+_CONFIG_ALIASES = {
+    "sites": "total_sites",
+    "days": "recrawl_days",
+    "backend": "crawl_backend",
+    "flush_every": "sink_flush_every",
+    "oversubscribe": "shard_oversubscribe",
+}
+
+#: Config fields the server owns; a submission naming them is rejected.
+_SERVER_MANAGED = ("checkpoint_path", "resume")
+
+
+def campaign_config_from_dict(data: Any) -> ExperimentConfig:
+    """Parse a JSON submission body into an :class:`ExperimentConfig`.
+
+    Accepts the dataclass field names plus the CLI-style aliases (``sites``,
+    ``days``, ``backend``, ``flush_every``, ``oversubscribe``).  Unknown
+    keys, server-managed keys and invalid values all raise
+    :class:`ServiceError` / :class:`ConfigurationError`, which the API layer
+    turns into a 400 with a JSON error body.
+    """
+    if not isinstance(data, Mapping):
+        raise ServiceError("a campaign submission must be a JSON object of config fields")
+    known = {f.name for f in dataclasses.fields(ExperimentConfig)}
+    kwargs: dict[str, Any] = {}
+    for key, value in data.items():
+        name = _CONFIG_ALIASES.get(key, key)
+        if name in _SERVER_MANAGED:
+            raise ServiceError(
+                f"config field {key!r} is managed by the service (each campaign "
+                f"gets its own checkpoint; use POST /campaigns/<id>/resume)"
+            )
+        if name not in known:
+            raise ServiceError(f"unknown campaign config field: {key!r}")
+        if name in kwargs:
+            raise ServiceError(f"campaign config field {name!r} given twice")
+        kwargs[name] = value
+    if "historical_years" in kwargs:
+        years = kwargs["historical_years"]
+        if not isinstance(years, (list, tuple)):
+            raise ServiceError("historical_years must be a list of integers")
+        try:
+            kwargs["historical_years"] = tuple(int(y) for y in years)
+        except (TypeError, ValueError):
+            raise ServiceError("historical_years must be a list of integers") from None
+    try:
+        return ExperimentConfig(**kwargs)
+    except (TypeError, ValueError) as exc:
+        # Wrong JSON types surface as TypeError/ValueError inside the
+        # dataclass validation; ConfigurationError (a ReproError) passes
+        # through untouched.
+        raise ServiceError(f"invalid campaign config: {exc}") from exc
+
+
+def campaign_config_to_dict(config: ExperimentConfig) -> dict[str, Any]:
+    """The JSON form of a config (tuples listified, server-managed dropped)."""
+    out = dataclasses.asdict(config)
+    out["historical_years"] = list(out["historical_years"])
+    for name in _SERVER_MANAGED:
+        out.pop(name, None)
+    return out
+
+
+class _CancellableSink(DetectionSink):
+    """A detection sink that aborts the crawl once its campaign is cancelled.
+
+    The engine writes every detection through the sink, so checking a flag
+    here cancels any backend — serial, thread or process — at page/shard
+    granularity without touching the engine: the raise unwinds through the
+    engine's normal error path, after the last completed shard boundary was
+    checkpointed and flushed.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        cancel_event: threading.Event,
+        append: bool = False,
+        flush_every: int = DetectionSink.DEFAULT_FLUSH_EVERY,
+    ) -> None:
+        super().__init__(path, append=append, flush_every=flush_every)
+        self._cancel_event = cancel_event
+
+    def write(self, detection) -> None:
+        if self._cancel_event.is_set():
+            raise CampaignCancelled(f"campaign sink {self.path} was cancelled")
+        super().write(detection)
+
+
+class _CancellableStorage(CrawlStorage):
+    """Storage whose sinks observe a campaign's cancel flag.
+
+    :meth:`ExperimentRunner.run` opens the sink itself from the storage it
+    is handed, so cancellation plugs in here rather than in the runner.
+    """
+
+    def __init__(self, path: str | Path, cancel_event: threading.Event) -> None:
+        super().__init__(path)
+        self._cancel_event = cancel_event
+
+    def open_sink(
+        self,
+        *,
+        append: bool = False,
+        flush_every: int = DetectionSink.DEFAULT_FLUSH_EVERY,
+    ) -> DetectionSink:
+        return _CancellableSink(
+            self.path,
+            cancel_event=self._cancel_event,
+            append=append,
+            flush_every=flush_every,
+        )
+
+
+@dataclass
+class Campaign:
+    """One submitted measurement campaign and its run-side state."""
+
+    id: str
+    config: ExperimentConfig
+    workdir: Path
+    state: str = "queued"
+    error: str | None = None
+    created_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: How many times the campaign has been (re-)queued; 1 for a fresh run.
+    runs: int = 0
+    store: DetectionStore = field(init=False, repr=False)
+    _cancel: threading.Event = field(default_factory=threading.Event, init=False, repr=False)
+    _thread: threading.Thread | None = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.store = DetectionStore(self.sink_path, label=self.id)
+
+    @property
+    def sink_path(self) -> Path:
+        return self.workdir / "detections.jsonl"
+
+    @property
+    def checkpoint_path(self) -> Path:
+        return self.workdir / "crawl.ckpt"
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self, *, refresh: bool = True) -> dict[str, Any]:
+        """The campaign's JSON representation (refreshes the store by default)."""
+        if refresh:
+            self.store.refresh()
+        return {
+            "id": self.id,
+            "state": self.state,
+            "error": self.error,
+            "runs": self.runs,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "config": campaign_config_to_dict(self.config),
+            "resumable": self.checkpoint_path.exists(),
+            "detections": {
+                "indexed": self.store.count,
+                "sink_bytes": self.store.storage.size(),
+            },
+            "links": {
+                "self": f"/campaigns/{self.id}",
+                "detections": f"/campaigns/{self.id}/detections",
+                "events": f"/campaigns/{self.id}/events",
+                "artifacts": f"/campaigns/{self.id}/artifacts/{{name}}",
+            },
+        }
+
+
+class CampaignManager:
+    """Runs submitted campaigns on background threads, bounded in parallel.
+
+    ``max_parallel`` campaigns crawl at once; the rest wait in ``queued``
+    (submission order).  The manager is the only writer of campaign state;
+    all transitions happen under its lock.
+    """
+
+    def __init__(self, root: str | Path, *, max_parallel: int = 1) -> None:
+        if max_parallel < 1:
+            raise ConfigurationError("the campaign manager needs max_parallel >= 1")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_parallel = max_parallel
+        self._slots = threading.Semaphore(max_parallel)
+        self._lock = threading.Lock()
+        self._campaigns: dict[str, Campaign] = {}
+        self._order: list[str] = []
+        self._seq = itertools.count(1)
+        self._shutting_down = False
+
+    # -- lookups ---------------------------------------------------------------
+    def get(self, campaign_id: str) -> Campaign:
+        with self._lock:
+            try:
+                return self._campaigns[campaign_id]
+            except KeyError:
+                raise UnknownCampaignError(campaign_id) from None
+
+    def list(self) -> list[Campaign]:
+        with self._lock:
+            return [self._campaigns[cid] for cid in self._order]
+
+    # -- lifecycle ---------------------------------------------------------------
+    def submit(self, config: ExperimentConfig) -> Campaign:
+        """Accept a campaign, allocate its working directory, queue its run."""
+        with self._lock:
+            if self._shutting_down:
+                raise ServiceError("the service is shutting down; not accepting campaigns")
+            campaign_id = f"c{next(self._seq):04d}-{uuid.uuid4().hex[:6]}"
+            workdir = self.root / campaign_id
+            workdir.mkdir(parents=True, exist_ok=False)
+            campaign = Campaign(id=campaign_id, config=config, workdir=workdir)
+            self._campaigns[campaign_id] = campaign
+            self._order.append(campaign_id)
+        (workdir / "campaign.json").write_text(
+            json.dumps(
+                {
+                    "id": campaign_id,
+                    "created_at": campaign.created_at,
+                    "config": campaign_config_to_dict(config),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        self._start(campaign, resume=False)
+        return campaign
+
+    def cancel(self, campaign_id: str) -> Campaign:
+        """Cancel a queued or running campaign (resumable via :meth:`resume`)."""
+        campaign = self.get(campaign_id)
+        with self._lock:
+            if campaign.terminal:
+                raise CampaignStateError(
+                    f"campaign {campaign_id} is already {campaign.state}; nothing to cancel"
+                )
+            campaign._cancel.set()
+        return campaign
+
+    def resume(self, campaign_id: str) -> Campaign:
+        """Re-queue a cancelled or failed campaign from its checkpoint.
+
+        The resumed run recovers the sink's half-flushed tail and continues
+        from the last shard boundary; its final bytes are identical to a
+        never-interrupted run.  A campaign cancelled before its first
+        checkpoint write simply starts fresh.
+        """
+        campaign = self.get(campaign_id)
+        with self._lock:
+            if self._shutting_down:
+                raise ServiceError("the service is shutting down; not accepting campaigns")
+            if campaign.state not in ("cancelled", "failed"):
+                raise CampaignStateError(
+                    f"campaign {campaign_id} is {campaign.state}; only cancelled or "
+                    f"failed campaigns can be resumed"
+                )
+            campaign.state = "queued"
+            campaign.error = None
+            campaign.finished_at = None
+            campaign._cancel = threading.Event()
+        self._start(campaign, resume=campaign.checkpoint_path.exists())
+        return campaign
+
+    def shutdown(self, *, timeout: float = 30.0) -> None:
+        """Stop accepting campaigns, cancel everything in flight, and wait.
+
+        Running crawls observe the cancel flag at their next detection write
+        and unwind having checkpointed their last shard boundary, so a
+        stopped server leaves every interrupted campaign resumable.
+        """
+        with self._lock:
+            self._shutting_down = True
+            active = [self._campaigns[cid] for cid in self._order]
+            for campaign in active:
+                if not campaign.terminal:
+                    campaign._cancel.set()
+        deadline = time.monotonic() + timeout
+        for campaign in active:
+            thread = campaign._thread
+            if thread is not None and thread.is_alive():
+                thread.join(max(0.0, deadline - time.monotonic()))
+
+    # -- the run thread ----------------------------------------------------------
+    def _start(self, campaign: Campaign, *, resume: bool) -> None:
+        thread = threading.Thread(
+            target=self._run,
+            args=(campaign, resume),
+            name=f"campaign-{campaign.id}",
+            daemon=True,
+        )
+        campaign._thread = thread
+        thread.start()
+
+    def _run(self, campaign: Campaign, resume: bool) -> None:
+        # Wait for a crawl slot, staying responsive to cancellation while
+        # queued: a cancelled queued campaign never starts crawling.
+        while not self._slots.acquire(timeout=0.05):
+            if campaign._cancel.is_set():
+                self._finish(campaign, "cancelled")
+                return
+        try:
+            with self._lock:
+                if campaign._cancel.is_set():
+                    self._finish(campaign, "cancelled", locked=True)
+                    return
+                campaign.state = "running"
+                campaign.started_at = time.time()
+                campaign.runs += 1
+            config = replace(
+                campaign.config,
+                checkpoint_path=str(campaign.checkpoint_path),
+                resume=resume,
+            )
+            storage = _CancellableStorage(campaign.sink_path, campaign._cancel)
+            try:
+                ExperimentRunner(config).run(use_cache=False, storage=storage)
+            except CampaignCancelled:
+                self._finish(campaign, "cancelled")
+            except ReproError as exc:
+                self._finish(campaign, "failed", error=str(exc))
+            except Exception as exc:  # noqa: BLE001 - a campaign must never kill the server
+                self._finish(campaign, "failed", error=f"{type(exc).__name__}: {exc}")
+            else:
+                self._finish(campaign, "done")
+        finally:
+            self._slots.release()
+
+    def _finish(self, campaign: Campaign, state: str, *, error: str | None = None, locked: bool = False) -> None:
+        if locked:
+            campaign.state = state
+            campaign.error = error
+            campaign.finished_at = time.time()
+            return
+        with self._lock:
+            campaign.state = state
+            campaign.error = error
+            campaign.finished_at = time.time()
+
+    # -- conveniences ------------------------------------------------------------
+    def wait(self, campaign_id: str, *, timeout: float = 60.0, interval: float = 0.05) -> Campaign:
+        """Block until a campaign reaches a terminal state (tests/benchmarks)."""
+        campaign = self.get(campaign_id)
+        deadline = time.monotonic() + timeout
+        while not campaign.terminal:
+            if time.monotonic() > deadline:
+                raise ServiceError(
+                    f"campaign {campaign_id} still {campaign.state} after {timeout:.0f}s"
+                )
+            time.sleep(interval)
+        return campaign
+
+    def states(self) -> dict[str, str]:
+        with self._lock:
+            return {cid: self._campaigns[cid].state for cid in self._order}
+
+    def __iter__(self) -> Iterable[Campaign]:
+        return iter(self.list())

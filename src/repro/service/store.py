@@ -1,0 +1,284 @@
+"""The service's queryable detection store.
+
+One :class:`DetectionStore` wraps a campaign's streaming sink file and keeps
+an incrementally-maintained :class:`~repro.analysis.dataset.CrawlDataset`
+over it: :meth:`refresh` tails the file through
+:meth:`~repro.crawler.storage.CrawlStorage.read_new` (guarded by the cheap
+:meth:`~repro.crawler.storage.CrawlStorage.size` probe) and folds the new
+records into the dataset's O(Δ) indices — exactly the machinery behind
+``hbrepro analyze --watch``, shared here by every HTTP request thread.
+
+All store operations run under one re-entrant lock, so detection queries,
+metric snapshots and tail refreshes from concurrent service threads never
+observe an index mid-update.  Queries are expressed as a
+:class:`DetectionQuery` (parsed from URL query parameters by the route
+layer) and answered from the in-memory indices: the HB-only views narrow
+partner/facet filters, pagination slices the filtered list.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.dataset import CrawlDataset
+from repro.analysis.registry import compute_metric, get_metric
+from repro.crawler.storage import CrawlStorage, detection_to_dict
+from repro.detector.records import SiteDetection
+from repro.errors import ServiceError, StorageError
+from repro.models import HBFacet
+
+__all__ = ["DetectionQuery", "DetectionStore", "MAX_PAGE_SIZE"]
+
+#: Hard cap on one detections page; larger ``limit`` values are rejected so a
+#: single request cannot serialise a million-detection campaign in one body.
+MAX_PAGE_SIZE = 500
+
+#: Default rank-bin width for the ``rank_bin`` filter (matches the Figure 13
+#: default of 100-rank buckets at test scale).
+DEFAULT_RANK_BIN_SIZE = 100
+
+
+def _parse_int(raw: str, name: str, *, minimum: int | None = None) -> int:
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ServiceError(f"query parameter {name!r} must be an integer, got {raw!r}") from None
+    if minimum is not None and value < minimum:
+        raise ServiceError(f"query parameter {name!r} must be >= {minimum}, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class DetectionQuery:
+    """One filtered, paginated read over a campaign's detections."""
+
+    #: Keep only detections naming this demand partner.
+    partner: str | None = None
+    #: Keep only detections classified as this HB facet.
+    facet: HBFacet | None = None
+    #: Keep only detections from this crawl day (0 = the discovery pass).
+    crawl_day: int | None = None
+    #: Keep only detections whose site rank falls in this bin (0-based,
+    #: ``bin_size`` ranks per bin — bin ``b`` covers ranks
+    #: ``b*bin_size+1 .. (b+1)*bin_size``).
+    rank_bin: int | None = None
+    bin_size: int = DEFAULT_RANK_BIN_SIZE
+    #: Keep only detections whose domain contains this substring.
+    site: str | None = None
+    #: Keep only HB / only non-HB detections (``None`` keeps both).
+    hb: bool | None = None
+    limit: int = 50
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.limit <= MAX_PAGE_SIZE:
+            raise ServiceError(f"limit must be in [1, {MAX_PAGE_SIZE}], got {self.limit}")
+        if self.offset < 0:
+            raise ServiceError(f"offset cannot be negative, got {self.offset}")
+        if self.bin_size < 1:
+            raise ServiceError(f"bin_size must be >= 1, got {self.bin_size}")
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, str]) -> "DetectionQuery":
+        """Build a query from flat URL parameters, loudly on anything bogus."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(params) - known)
+        if unknown:
+            raise ServiceError(
+                f"unknown detection filter(s): {', '.join(unknown)}; "
+                f"expected any of {', '.join(sorted(known))}"
+            )
+        kwargs: dict[str, Any] = {}
+        if "partner" in params:
+            kwargs["partner"] = params["partner"]
+        if "facet" in params:
+            try:
+                kwargs["facet"] = HBFacet(params["facet"])
+            except ValueError:
+                raise ServiceError(
+                    f"unknown facet {params['facet']!r}; expected one of "
+                    f"{', '.join(f.value for f in HBFacet)}"
+                ) from None
+        if "crawl_day" in params:
+            kwargs["crawl_day"] = _parse_int(params["crawl_day"], "crawl_day", minimum=0)
+        if "rank_bin" in params:
+            kwargs["rank_bin"] = _parse_int(params["rank_bin"], "rank_bin", minimum=0)
+        if "bin_size" in params:
+            kwargs["bin_size"] = _parse_int(params["bin_size"], "bin_size", minimum=1)
+        if "site" in params:
+            kwargs["site"] = params["site"]
+        if "hb" in params:
+            raw = params["hb"].lower()
+            if raw not in ("true", "false", "1", "0"):
+                raise ServiceError(f"query parameter 'hb' must be true/false, got {params['hb']!r}")
+            kwargs["hb"] = raw in ("true", "1")
+        if "limit" in params:
+            kwargs["limit"] = _parse_int(params["limit"], "limit", minimum=1)
+        if "offset" in params:
+            kwargs["offset"] = _parse_int(params["offset"], "offset", minimum=0)
+        return cls(**kwargs)
+
+    def describe(self) -> dict[str, Any]:
+        """The active filters, JSON-shaped (for echoing back in responses)."""
+        out: dict[str, Any] = {}
+        for name in ("partner", "crawl_day", "rank_bin", "site", "hb"):
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
+        if self.facet is not None:
+            out["facet"] = self.facet.value
+        if self.rank_bin is not None:
+            out["bin_size"] = self.bin_size
+        return out
+
+    def predicate(self) -> Callable[[SiteDetection], bool]:
+        """The record filter this query describes (pagination excluded)."""
+        partner, facet, day = self.partner, self.facet, self.crawl_day
+        rank_bin, bin_size, site, hb = self.rank_bin, self.bin_size, self.site, self.hb
+
+        def keep(d: SiteDetection) -> bool:
+            if hb is not None and d.hb_detected != hb:
+                return False
+            if partner is not None and partner not in d.partners:
+                return False
+            if facet is not None and d.facet is not facet:
+                return False
+            if day is not None and d.crawl_day != day:
+                return False
+            if rank_bin is not None and (d.rank - 1) // bin_size != rank_bin:
+                return False
+            if site is not None and site not in d.domain:
+                return False
+            return True
+
+        return keep
+
+
+class DetectionStore:
+    """Thread-safe live view over one campaign's detection sink.
+
+    The store owns the campaign-side reader state: the JSON-Lines byte
+    offset, the incrementally-indexed dataset, and the lock serialising
+    refreshes against queries.  It is deliberately ignorant of HTTP — the
+    route layer parses parameters into :class:`DetectionQuery` objects and
+    serialises the dicts this class returns.
+    """
+
+    def __init__(self, path: str | Path, *, label: str | None = None) -> None:
+        self.storage = CrawlStorage(path)
+        self._label = label or Path(path).stem
+        self._dataset = CrawlDataset(label=self._label)
+        self._offset = 0
+        self._lock = threading.RLock()
+
+    # -- tailing ---------------------------------------------------------------
+    @property
+    def offset(self) -> int:
+        """Byte offset of the last fully-read record boundary."""
+        with self._lock:
+            return self._offset
+
+    @property
+    def count(self) -> int:
+        """Detections currently indexed (call :meth:`refresh` first)."""
+        with self._lock:
+            return len(self._dataset)
+
+    def refresh(self) -> int:
+        """Fold any newly-flushed sink records into the dataset.
+
+        Returns how many new detections were absorbed.  Cheap when nothing
+        changed: the ``size()`` probe skips the file open entirely.  If the
+        file shrank below the read offset — the campaign was resumed and
+        recovery truncated the half-flushed tail — the store restarts from
+        byte zero, exactly like ``analyze --watch`` does.
+        """
+        with self._lock:
+            if self.storage.size() <= self._offset:
+                if self.storage.size() < self._offset:
+                    self._reset()
+                return 0
+            try:
+                new, self._offset = self.storage.read_new(self._offset)
+            except StorageError:
+                if self._offset == 0:
+                    raise
+                self._reset()
+                try:
+                    new, self._offset = self.storage.read_new(0)
+                except StorageError:
+                    return 0
+            self._dataset.extend(new)
+            return len(new)
+
+    def _reset(self) -> None:
+        self._dataset = CrawlDataset(label=self._label)
+        self._offset = 0
+
+    def drained(self) -> bool:
+        """Whether every byte currently in the sink has been indexed."""
+        with self._lock:
+            return self.storage.size() == self._offset
+
+    # -- queries ---------------------------------------------------------------
+    def query(self, query: DetectionQuery) -> dict[str, Any]:
+        """Answer one filtered, paginated detections read.
+
+        Partner and facet filters only ever match HB detections, so they
+        scan the dataset's cached ``hb_detections`` index instead of every
+        page visit; the other filters scan whichever base the indices give
+        them.  The page is serialised inside the lock — a concurrent refresh
+        cannot grow the list mid-pagination.
+        """
+        with self._lock:
+            if query.partner is not None or query.facet is not None:
+                base: Sequence[SiteDetection] = self._dataset.hb_detections()
+            elif query.hb is True:
+                base = self._dataset.hb_detections()
+            else:
+                base = self._dataset.detections
+            keep = query.predicate()
+            matched = [d for d in base if keep(d)]
+            page = matched[query.offset : query.offset + query.limit]
+            return {
+                "total": len(matched),
+                "offset": query.offset,
+                "limit": query.limit,
+                "count": len(page),
+                "filters": query.describe(),
+                "items": [detection_to_dict(d) for d in page],
+            }
+
+    # -- metrics ---------------------------------------------------------------
+    def compute_artifact(self, name: str, **overrides: Any):
+        """Compute one registered metric over the current dataset.
+
+        Raises :class:`~repro.errors.UnknownMetricError` for names not in the
+        registry and :class:`~repro.errors.MetricContextError` for metrics
+        needing more than the dataset (the store is an offline context).
+        """
+        metric = get_metric(name)
+        with self._lock:
+            return metric.compute(AnalysisContext.offline(self._dataset), **overrides)
+
+    def snapshot(self, names: Sequence[str]) -> dict[str, str]:
+        """Render several metrics at one consistent dataset state.
+
+        The lock spans all of them, so a snapshot taken while a crawl
+        streams in is internally consistent — the same guarantee one
+        ``analyze --watch`` refresh gives.
+        """
+        with self._lock:
+            context = AnalysisContext.offline(self._dataset)
+            return {name: compute_metric(name, context).text for name in names}
+
+    def summary(self) -> dict[str, Any] | None:
+        """The Table-1 style dataset summary (``None`` while still empty)."""
+        with self._lock:
+            if not len(self._dataset):
+                return None
+            return self._dataset.summary()

@@ -507,3 +507,75 @@ class TestSinkCloseSafety:
         with pytest.raises(RuntimeError, match="teardown"):
             with engine:
                 pass
+
+
+class TestSizeProbe:
+    def test_missing_file_is_zero(self, tmp_path):
+        assert CrawlStorage(tmp_path / "missing.jsonl").size() == 0
+
+    def test_tracks_the_file_exactly(self, tmp_path):
+        path = tmp_path / "crawl.jsonl"
+        storage = CrawlStorage(path)
+        assert storage.size() == 0
+        storage.save([sample_detection()])
+        assert storage.size() == path.stat().st_size
+        storage.append([sample_detection("late.example", day=1)])
+        assert storage.size() == path.stat().st_size
+
+    def test_size_gates_read_new(self, tmp_path):
+        """The cheap polling pattern: only call read_new when size() grew."""
+        path = tmp_path / "crawl.jsonl"
+        storage = CrawlStorage(path)
+        storage.save([sample_detection()])
+        new, offset = storage.read_new(0)
+        assert len(new) == 1
+        assert storage.size() == offset  # drained: a poller can skip the read
+        storage.append([sample_detection("more.example", day=1)])
+        assert storage.size() > offset   # stale: worth reading again
+
+
+class TestConcurrentTailing:
+    """read_new under a live writer: torn nothing, duplicated nothing."""
+
+    def test_mid_flush_partial_line_is_deferred(self, tmp_path):
+        path = tmp_path / "crawl.jsonl"
+        storage = CrawlStorage(path)
+        full = json.dumps(detection_to_dict(sample_detection())) + "\n"
+        partial = json.dumps(detection_to_dict(sample_detection("cut.example")))
+        # simulate a flush that landed mid-record: one whole line + a prefix
+        path.write_text(full + partial[: len(partial) // 2], encoding="utf-8")
+        new, offset = storage.read_new(0)
+        assert [d.domain for d in new] == ["pub.example"]
+        assert offset == len(full.encode("utf-8"))  # a record boundary
+        # the writer finishes the line; the next read picks up exactly it
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(partial[len(partial) // 2 :] + "\n")
+        new, _ = storage.read_new(offset)
+        assert [d.domain for d in new] == ["cut.example"]
+
+    def test_threaded_writer_and_reader_never_tear_or_duplicate(self, tmp_path):
+        import threading
+
+        path = tmp_path / "crawl.jsonl"
+        storage = CrawlStorage(path)
+        written = [sample_detection(f"site{i:03d}.example", day=i % 3) for i in range(200)]
+        done = threading.Event()
+
+        def writer():
+            with storage.open_sink(flush_every=1) as sink:
+                for d in written:
+                    sink.write(d)
+            done.set()
+
+        seen = []
+        offset = 0
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            while not (done.is_set() and storage.size() == offset):
+                if storage.size() > offset:
+                    new, offset = storage.read_new(offset)
+                    seen.extend(new)
+        finally:
+            thread.join(timeout=30)
+        assert seen == written
