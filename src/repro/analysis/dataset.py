@@ -90,6 +90,23 @@ class CrawlDataset:
         storage = CrawlStorage(path)
         return cls.from_detections(storage.iter_load(), label=label or Path(path).stem)
 
+    @classmethod
+    def from_path(cls, path: str | Path, *, label: str | None = None) -> "CrawlDataset":
+        """Load a saved crawl in either store format, detected from the file.
+
+        JSONL files parse into an ordinary in-memory dataset; columnar files
+        (:mod:`repro.crawler.colstore`) come back as a lazily-materialising
+        :class:`~repro.crawler.colstore.ColumnarDataset` whose ``summary()``
+        is computed over mmapped numpy columns without building records.
+        Raises :class:`~repro.errors.StorageError` on a corrupt or
+        unrecognised file.
+        """
+        from repro.crawler.colstore import ColumnarDataset, sniff_format
+
+        if sniff_format(path) == "columnar":
+            return ColumnarDataset.open(path, label=label)
+        return cls.from_jsonl(path, label=label)
+
     def extend(self, detections: Iterable[SiteDetection]) -> None:
         """Append detections, updating every cached index in place (O(Δ)).
 

@@ -7,8 +7,10 @@ requested artefacts, which is the quickest way to see the pipeline working::
     hbrepro run --sites 2000 --save crawl.jsonl --figures table1
     hbrepro run --sites 2000 --save crawl.jsonl --checkpoint crawl.ckpt
     hbrepro run --sites 2000 --save crawl.jsonl --checkpoint crawl.ckpt --resume
+    hbrepro run --sites 2000 --save crawl.hbc --store-format columnar
     hbrepro analyze crawl.jsonl --artifact table1 fig12
     hbrepro analyze crawl.jsonl --watch --interval 2
+    hbrepro convert crawl.hbc crawl.jsonl
     hbrepro historical --sites 400
     hbrepro serve --port 8710 --data-dir campaigns
     hbrepro list
@@ -16,11 +18,17 @@ requested artefacts, which is the quickest way to see the pipeline working::
 Artefact names resolve through the central metric registry
 (:mod:`repro.analysis.registry`); ``analyze`` recomputes any dataset-only
 metric from a saved crawl without re-simulating the Web.  ``analyze
---watch`` tails a growing JSON-Lines sink (a crawl still running with
-``--save``) and re-renders the artefacts whenever new detections land; each
-refresh feeds only the new records into the dataset's incrementally
-maintained indices (index upkeep is O(new detections); rendering the chosen
-artefacts still scans their data).
+--watch`` tails a growing sink (a crawl still running with ``--save``) and
+re-renders the artefacts whenever new detections land; each refresh feeds
+only the new records into the dataset's incrementally maintained indices
+(index upkeep is O(new detections); rendering the chosen artefacts still
+scans their data).
+
+Saved crawls come in two on-disk formats (``--store-format``): ``jsonl``,
+the human-greppable reference, and ``columnar``, the typed binary layout of
+:mod:`repro.crawler.colstore` that ``analyze`` mmaps instead of re-parsing.
+``analyze``, ``--watch`` and ``convert`` sniff the format from the file
+itself, so every read-side command works unchanged on either.
 """
 
 from __future__ import annotations
@@ -28,14 +36,16 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import Sequence
 
 from repro.analysis.context import AnalysisContext, CONTEXT_FIELDS
 from repro.analysis.dataset import CrawlDataset
 from repro.analysis.registry import available_metrics, compute_metric, iter_metrics
+from repro.crawler.colstore import COLUMNAR_SUFFIXES, storage_for
 from repro.crawler.engine import BACKEND_NAMES
-from repro.crawler.storage import CrawlStorage, DetectionSink
-from repro.errors import ReproError
+from repro.crawler.storage import STORE_FORMATS, DetectionSink
+from repro.errors import ReproError, StorageError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentRunner
 
@@ -103,7 +113,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--save", metavar="PATH", default=None,
-        help="stream detections to this JSON-Lines file as the crawl progresses",
+        help="stream detections to this file as the crawl progresses",
+    )
+    run.add_argument(
+        "--store-format", choices=list(STORE_FORMATS), default="jsonl",
+        help="on-disk format for --save: 'jsonl' is the reference format, "
+        "'columnar' the typed binary layout that analyze mmaps "
+        "(default %(default)s; `hbrepro convert` translates between them)",
     )
     run.add_argument(
         "--flush-every", type=_positive_int, default=DetectionSink.DEFAULT_FLUSH_EVERY, metavar="N",
@@ -133,7 +149,10 @@ def build_parser() -> argparse.ArgumentParser:
         "analyze",
         help="recompute artefacts from a saved crawl (no re-simulation)",
     )
-    analyze.add_argument("path", help="JSON-Lines crawl dataset written by run --save")
+    analyze.add_argument(
+        "path",
+        help="crawl dataset written by run --save (JSONL or columnar; auto-detected)",
+    )
     analyze.add_argument(
         "--artifact", "--figures",
         dest="figures",
@@ -153,6 +172,26 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--watch-rounds", type=_positive_int, default=None, metavar="N",
         help="stop --watch after N tail reads (default: watch until Ctrl-C)",
+    )
+
+    convert = sub.add_parser(
+        "convert",
+        help="convert a saved crawl between detection store formats",
+        description="Translate a saved crawl between the JSONL reference "
+        "format and the columnar binary format, in either direction. "
+        "Converting columnar back to JSONL reproduces the exact bytes a "
+        "direct JSONL run would have written.",
+    )
+    convert.add_argument("src", help="existing detection store (JSONL or columnar; auto-detected)")
+    convert.add_argument("dst", help="destination file to write")
+    convert.add_argument(
+        "--to", choices=list(STORE_FORMATS), default=None,
+        help="target format (default: inferred from DST's extension, "
+        "falling back to the opposite of SRC's format)",
+    )
+    convert.add_argument(
+        "--force", action="store_true",
+        help="overwrite DST if it already exists",
     )
 
     historical = sub.add_parser("historical", help="run the Figure 4 historical adoption study")
@@ -196,7 +235,7 @@ def _print_artifacts(names: Sequence[str], context: AnalysisContext) -> None:
 
 
 def _watch(
-    storage: CrawlStorage,
+    storage,  # CrawlStorage or ColumnarStorage: anything with read_new()
     names: Sequence[str],
     *,
     interval: float,
@@ -243,6 +282,32 @@ def _watch(
             _print_artifacts(names, AnalysisContext.offline(dataset))
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+def _convert(args: argparse.Namespace) -> int:
+    """Translate a saved crawl between store formats (either direction)."""
+    src, dst = Path(args.src), Path(args.dst)
+    try:
+        if src.resolve() == dst.resolve():
+            raise StorageError("convert needs distinct source and destination paths")
+        src_storage = storage_for(src)
+        if args.to is not None:
+            target = args.to
+        elif dst.suffix.lower() in COLUMNAR_SUFFIXES:
+            target = "columnar"
+        elif dst.suffix.lower() in {".jsonl", ".ndjson", ".json"}:
+            target = "jsonl"
+        else:
+            target = "jsonl" if src_storage.format == "columnar" else "columnar"
+        if dst.exists() and not args.force:
+            raise StorageError(f"{dst} already exists; pass --force to overwrite it")
+        dst_storage = storage_for(dst, format=target)
+        count = dst_storage.save(src_storage.iter_load())
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"Converted {count} detections: {src} ({src_storage.format}) -> {dst} ({target})")
     return 0
 
 
@@ -314,14 +379,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "serve":
         return _serve(args)
 
+    if args.command == "convert":
+        return _convert(args)
+
     if args.command == "analyze":
         try:
             if args.watch:
                 return _watch(
-                    CrawlStorage(args.path), args.figures,
+                    storage_for(args.path), args.figures,
                     interval=args.interval, rounds=args.watch_rounds,
                 )
-            dataset = CrawlDataset.from_jsonl(args.path)
+            dataset = CrawlDataset.from_path(args.path)
             _print_artifacts(args.figures, AnalysisContext.offline(dataset))
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -345,8 +413,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             fast_path=not args.slow_path,
             batch_sim=args.columnar,
             shard_oversubscribe=args.oversubscribe,
+            store_format=args.store_format,
         )
-        storage = CrawlStorage(args.save) if args.save else None
+        storage = storage_for(args.save, format=args.store_format) if args.save else None
         artifacts = ExperimentRunner(config).run(storage=storage)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

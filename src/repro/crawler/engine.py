@@ -914,9 +914,15 @@ class CrawlEngine:
                 sessions_started += ready.sessions_started
                 timed_out.extend(ready.timed_out_domains)
                 at_boundary = True
-            if at_boundary:
+                # Flush once per in-order shard, not once per ready batch:
+                # parallel backends hand back shards in completion order, and
+                # a per-batch flush would make the columnar store's chunk
+                # boundaries depend on arrival timing.  Per-shard flushing
+                # keeps sink bytes a pure function of (shard contents,
+                # flush_every) for every backend and worker count.
                 if sink_flush is not None:
                     sink_flush()
+            if at_boundary:
                 if checkpoint is not None:
                     boundaries += 1
                     done = skip + len(ordered) == n_shards

@@ -25,12 +25,17 @@ from repro.errors import StorageError
 from repro.models import HBFacet
 
 __all__ = [
+    "STORE_FORMATS",
     "CrawlStorage",
     "DetectionSink",
     "detection_to_dict",
     "detection_from_dict",
     "detection_to_json_line",
 ]
+
+#: Detection store backends: "jsonl" is the human-greppable reference format,
+#: "columnar" (repro.crawler.colstore) the typed binary fast path.
+STORE_FORMATS = ("jsonl", "columnar")
 
 
 def detection_to_dict(detection: SiteDetection) -> dict:
@@ -279,6 +284,8 @@ class DetectionSink:
 
 class CrawlStorage:
     """Reads and writes JSON-Lines crawl datasets."""
+
+    format = "jsonl"
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)

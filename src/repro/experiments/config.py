@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.crawler.crawler import CrawlConfig
-from repro.crawler.storage import DetectionSink
+from repro.crawler.storage import STORE_FORMATS, DetectionSink
 from repro.ecosystem.publishers import PopulationConfig
 from repro.errors import ConfigurationError
 
@@ -71,6 +71,12 @@ class ExperimentConfig:
     #: this knob existed (its mid-flight phase planned one shard per
     #: worker).
     shard_oversubscribe: int = 4
+    #: On-disk format for streamed detections: ``"jsonl"`` (the reference
+    #: format) or ``"columnar"`` (the typed binary layout of
+    #: :mod:`repro.crawler.colstore`).  The storage passed to
+    #: :meth:`ExperimentRunner.run` must match; ``hbrepro convert``
+    #: translates between the two after the fact.
+    store_format: str = "jsonl"
 
     def __post_init__(self) -> None:
         if self.total_sites < 10:
@@ -89,6 +95,10 @@ class ExperimentConfig:
             raise ConfigurationError("sink_flush_every must be >= 1")
         if self.resume and self.checkpoint_path is None:
             raise ConfigurationError("resume requires a checkpoint_path")
+        if self.store_format not in STORE_FORMATS:
+            raise ConfigurationError(
+                f"store_format must be one of {', '.join(STORE_FORMATS)}; got {self.store_format!r}"
+            )
         # workers / crawl_backend / checkpoint_every_shards validation lives
         # in CrawlConfig; building the crawl config surfaces any error at
         # construction time.

@@ -136,7 +136,7 @@ class ExperimentRunner:
         identically).
         """
         crawl = self.config.crawl_config()
-        return {
+        fingerprint = {
             "total_sites": self.config.total_sites,
             "seed": self.config.seed,
             "recrawl_days": self.config.recrawl_days,
@@ -148,6 +148,12 @@ class ExperimentRunner:
             "extra_dwell_ms": crawl.extra_dwell_ms,
             "restart_every_pages": crawl.restart_every_pages,
         }
+        # The store format changes the sink's byte layout, so a checkpoint
+        # must not resume under the other backend.  Recorded only when
+        # non-default so pre-existing JSONL checkpoints keep resuming.
+        if self.config.store_format != "jsonl":
+            fingerprint["store_format"] = self.config.store_format
+        return fingerprint
 
     # -- main entry points ----------------------------------------------------------
     def run(
@@ -173,6 +179,12 @@ class ExperimentRunner:
             raise ConfigurationError(
                 "a checkpointed run needs persistent storage (run --save): "
                 "resume recovers completed work from the sink file"
+            )
+        if storage is not None and getattr(storage, "format", "jsonl") != config.store_format:
+            raise ConfigurationError(
+                f"storage writes {getattr(storage, 'format', 'jsonl')!r} but the "
+                f"configuration asks for store_format={config.store_format!r}; "
+                f"build the storage with repro.crawler.colstore.storage_for"
             )
         cache_key = _run_cache_key(config)
         use_cache = use_cache and storage is None

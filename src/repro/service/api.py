@@ -304,10 +304,15 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     def _get_artifact(self, campaign_id: str, name: str, params: dict[str, list[str]]) -> None:
         campaign = self.server.manager.get(campaign_id)
-        if name == RAW_SINK_ARTIFACT:
+        # The campaign's own sink file name (detections.jsonl, or
+        # detections.hbc for a columnar campaign) serves the raw sink bytes.
+        if name == campaign.sink_path.name:
             path = campaign.sink_path
             body = path.read_bytes() if path.exists() else b""
-            return self._send_bytes(200, body, "application/x-ndjson")
+            content_type = (
+                "application/x-ndjson" if name == RAW_SINK_ARTIFACT else "application/octet-stream"
+            )
+            return self._send_bytes(200, body, content_type)
         fmt = params.get("format", ["json"])[-1]
         if fmt not in ("json", "text"):
             raise ServiceError(f"unknown artifact format {fmt!r}; expected json or text")

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Iterable, Mapping
 
+from repro.crawler.colstore import ColumnarDetectionSink, ColumnarStorage
 from repro.crawler.storage import CrawlStorage, DetectionSink
 from repro.errors import (
     CampaignCancelled,
@@ -180,6 +181,53 @@ class _CancellableStorage(CrawlStorage):
         )
 
 
+class _CancellableColumnarSink(ColumnarDetectionSink):
+    """The columnar twin of :class:`_CancellableSink`."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        cancel_event: threading.Event,
+        append: bool = False,
+        flush_every: int = DetectionSink.DEFAULT_FLUSH_EVERY,
+    ) -> None:
+        super().__init__(path, append=append, flush_every=flush_every)
+        self._cancel_event = cancel_event
+
+    def write(self, detection) -> None:
+        if self._cancel_event.is_set():
+            raise CampaignCancelled(f"campaign sink {self.path} was cancelled")
+        super().write(detection)
+
+
+class _CancellableColumnarStorage(ColumnarStorage):
+    """The columnar twin of :class:`_CancellableStorage`."""
+
+    def __init__(self, path: str | Path, cancel_event: threading.Event) -> None:
+        super().__init__(path)
+        self._cancel_event = cancel_event
+
+    def open_sink(
+        self,
+        *,
+        append: bool = False,
+        flush_every: int = DetectionSink.DEFAULT_FLUSH_EVERY,
+    ) -> ColumnarDetectionSink:
+        return _CancellableColumnarSink(
+            self.path,
+            cancel_event=self._cancel_event,
+            append=append,
+            flush_every=flush_every,
+        )
+
+
+def _cancellable_storage(path: Path, store_format: str, cancel_event: threading.Event):
+    if store_format == "columnar":
+        return _CancellableColumnarStorage(path, cancel_event)
+    return _CancellableStorage(path, cancel_event)
+
+
 @dataclass
 class Campaign:
     """One submitted measurement campaign and its run-side state."""
@@ -203,7 +251,8 @@ class Campaign:
 
     @property
     def sink_path(self) -> Path:
-        return self.workdir / "detections.jsonl"
+        name = "detections.hbc" if self.config.store_format == "columnar" else "detections.jsonl"
+        return self.workdir / name
 
     @property
     def checkpoint_path(self) -> Path:
@@ -386,7 +435,9 @@ class CampaignManager:
                 checkpoint_path=str(campaign.checkpoint_path),
                 resume=resume,
             )
-            storage = _CancellableStorage(campaign.sink_path, campaign._cancel)
+            storage = _cancellable_storage(
+                campaign.sink_path, campaign.config.store_format, campaign._cancel
+            )
             try:
                 ExperimentRunner(config).run(use_cache=False, storage=storage)
             except CampaignCancelled:

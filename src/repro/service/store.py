@@ -26,7 +26,8 @@ from typing import Any, Callable, Mapping, Sequence
 from repro.analysis.context import AnalysisContext
 from repro.analysis.dataset import CrawlDataset
 from repro.analysis.registry import compute_metric, get_metric
-from repro.crawler.storage import CrawlStorage, detection_to_dict
+from repro.crawler.colstore import storage_for
+from repro.crawler.storage import detection_to_dict
 from repro.detector.records import SiteDetection
 from repro.errors import ServiceError, StorageError
 from repro.models import HBFacet
@@ -169,7 +170,9 @@ class DetectionStore:
     """
 
     def __init__(self, path: str | Path, *, label: str | None = None) -> None:
-        self.storage = CrawlStorage(path)
+        # Sniffed by magic bytes (extension for files not yet created), so a
+        # columnar campaign's store tails typed chunks instead of JSON lines.
+        self.storage = storage_for(path)
         self._label = label or Path(path).stem
         self._dataset = CrawlDataset(label=self._label)
         self._offset = 0

@@ -18,8 +18,8 @@ from __future__ import annotations
 import pytest
 
 from repro.crawler.checkpoint import CrawlCheckpointer
+from repro.crawler.colstore import storage_for
 from repro.crawler.engine import CrawlEngine, backend_from_name
-from repro.crawler.storage import CrawlStorage
 
 
 class SimulatedCrash(RuntimeError):
@@ -89,6 +89,7 @@ def interrupted_then_resumed(
     crawl_day: int = 0,
     flush_every: int = 3,
     resume_config=None,
+    store_format: str = "jsonl",
 ):
     """Crash a checkpointed crawl after ``fail_after`` shards, then resume it.
 
@@ -101,7 +102,8 @@ def interrupted_then_resumed(
         "seed": config.seed,
         "sites": [publisher.domain for publisher in sites],
     }
-    storage = CrawlStorage(tmp_path / "interrupted.jsonl")
+    suffix = "hbc" if store_format == "columnar" else "jsonl"
+    storage = storage_for(tmp_path / f"interrupted.{suffix}", format=store_format)
     checkpoint_path = tmp_path / "checkpoint.json"
 
     faulty = FaultyBackend(
@@ -129,10 +131,11 @@ def interrupted_then_resumed(
 
 def uninterrupted_baseline(
     environment, detector, config, sites, *, tmp_path, crawl_day: int = 0,
-    flush_every: int = 3,
+    flush_every: int = 3, store_format: str = "jsonl",
 ):
     """One-shot reference crawl: the bytes and result resume must reproduce."""
-    storage = CrawlStorage(tmp_path / "baseline.jsonl")
+    suffix = "hbc" if store_format == "columnar" else "jsonl"
+    storage = storage_for(tmp_path / f"baseline.{suffix}", format=store_format)
     with CrawlEngine(environment, detector, config) as engine:
         with storage.open_sink(flush_every=flush_every) as sink:
             result = engine.crawl(sites, crawl_day=crawl_day, sink=sink)
