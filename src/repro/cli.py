@@ -13,6 +13,8 @@ requested artefacts, which is the quickest way to see the pipeline working::
     hbrepro convert crawl.hbc crawl.jsonl
     hbrepro historical --sites 400
     hbrepro serve --port 8710 --data-dir campaigns
+    hbrepro daemon --dir campaign/ --sites 2000 --days 34 \\
+        --threshold table1.summary.websites_with_hb:drop=0.25
     hbrepro list
 
 Artefact names resolve through the central metric registry
@@ -34,6 +36,7 @@ itself, so every read-side command works unchanged on either.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -72,6 +75,20 @@ def _positive_float(text: str) -> float:
     value = float(text)
     if value <= 0:
         raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _nonnegative_float(text: str) -> float:
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
     return value
 
 
@@ -223,6 +240,85 @@ def build_parser() -> argparse.ArgumentParser:
         help="log every HTTP request to stderr",
     )
 
+    daemon = sub.add_parser(
+        "daemon",
+        help="continuously grow a long-lived campaign one crawl day per tick",
+        description="Run the continuous-recrawl daemon: each tick appends one "
+        "crawl-day partition to the campaign under --dir through the "
+        "checkpoint/sink machinery (kill it at any instant; the next tick "
+        "resumes byte-identically), snapshots the watched metrics for the "
+        "finished day, and appends regression alerts to DIR/alerts.jsonl "
+        "when a --threshold rule fires.",
+    )
+    daemon.add_argument(
+        "--dir", required=True, metavar="DIR",
+        help="campaign working directory (sink, checkpoint, per-day snapshots "
+        "and partitions, alert log); reuse it to keep growing the same campaign",
+    )
+    daemon.add_argument("--sites", type=int, default=2_000, help="number of simulated websites")
+    daemon.add_argument("--seed", type=int, default=2019, help="random seed")
+    daemon.add_argument(
+        "--days", type=_nonnegative_int, default=None, metavar="N",
+        help="stop once N re-crawl days are recorded "
+        "(default: keep growing until interrupted)",
+    )
+    daemon.add_argument(
+        "--interval", type=_nonnegative_float, default=60.0, metavar="SECONDS",
+        help="pause between ticks (default %(default)s; 0 runs ticks back to back)",
+    )
+    daemon.add_argument(
+        "--ticks", type=_positive_int, default=None, metavar="N",
+        help="run at most N ticks, then exit (default: until --days or a signal)",
+    )
+    daemon.add_argument(
+        "--metrics", nargs="+", default=["table1"],
+        choices=_metric_names_for(_OFFLINE_CONTEXT),
+        help="dataset-only metrics snapshotted after each crawl day "
+        "(default %(default)s)",
+    )
+    daemon.add_argument(
+        "--threshold", action="append", default=[], metavar="SPEC",
+        help="regression alert rule, metric.field:kind=value with kind one of "
+        "drop/min/max (e.g. table1.summary.websites_with_hb:drop=0.25); "
+        "repeatable",
+    )
+    daemon.add_argument(
+        "--retention-days", type=_positive_int, default=None, metavar="N",
+        help="keep only the trailing N days of per-day partition/snapshot "
+        "files (the canonical sink and alert log are never pruned; "
+        "default: keep everything)",
+    )
+    daemon.add_argument(
+        "--workers", type=int, default=1,
+        help="parallel crawl workers; detections are identical for any count",
+    )
+    daemon.add_argument(
+        "--backend", choices=list(BACKEND_NAMES), default="serial",
+        help="crawl execution backend",
+    )
+    daemon.add_argument(
+        "--flush-every", type=_positive_int,
+        default=DetectionSink.DEFAULT_FLUSH_EVERY, metavar="N",
+        help="buffer N detections between sink writes (bytes identical for any value)",
+    )
+    daemon.add_argument(
+        "--oversubscribe", type=_positive_int, default=4, metavar="N",
+        help="shards per worker for parallel crawls (bytes identical for any value)",
+    )
+    daemon.add_argument(
+        "--slow-path", action="store_true",
+        help="bypass the precompiled-site-profile fast path (byte-identical, slower)",
+    )
+    daemon.add_argument(
+        "--columnar", action=argparse.BooleanOptionalAction, default=True,
+        help="columnar batch simulation (default on; byte-identical either way)",
+    )
+    daemon.add_argument(
+        "--store-format", choices=list(STORE_FORMATS), default="columnar",
+        help="sink format for the long-lived campaign (default %(default)s; "
+        "`hbrepro convert` translates to the JSONL reference bytes)",
+    )
+
     sub.add_parser("list", help="list every artefact the run and analyze commands can print")
     return parser
 
@@ -251,6 +347,11 @@ def _watch(
     instead of stalling on a stale offset.  Runs until interrupted (or for
     ``rounds`` tail reads when given, which is how tests and smoke runs
     bound it).
+
+    Each poll starts with the cheap ``storage.size()`` staleness probe
+    (exactly like ``DetectionStore.refresh()``): an idle watch — the recrawl
+    daemon's common state between crawl days — costs one ``stat`` per poll
+    and never opens the file.
     """
     dataset = CrawlDataset(label=storage.path.stem)
     offset = 0
@@ -259,6 +360,20 @@ def _watch(
         while rounds is None or reads < rounds:
             if reads > 0:
                 time.sleep(interval)
+            size = storage.size()
+            if size == offset:
+                # Nothing was flushed since the last read: skip the parse
+                # entirely.  (At offset 0 this also skips a still-empty file.)
+                reads += 1
+                continue
+            if size < offset:
+                # The file shrank under the watch: the crawl was restarted
+                # with a fresh sink.  Start over from an empty dataset.
+                print(f"=== {storage.path.name}: file changed, restarting watch ===\n")
+                dataset = CrawlDataset(label=storage.path.stem)
+                offset = 0
+                reads += 1
+                continue
             try:
                 new, offset = storage.read_new(offset)
             except ReproError:
@@ -302,8 +417,22 @@ def _convert(args: argparse.Namespace) -> int:
             target = "jsonl" if src_storage.format == "columnar" else "columnar"
         if dst.exists() and not args.force:
             raise StorageError(f"{dst} already exists; pass --force to overwrite it")
-        dst_storage = storage_for(dst, format=target)
-        count = dst_storage.save(src_storage.iter_load())
+        # Write to a sibling temp file and rename into place (the
+        # checkpoint's tmp+fsync+rename pattern): a crash mid-convert — or
+        # mid --force overwrite — can never leave a torn file where a valid
+        # one stood.
+        tmp = dst.with_name(dst.name + ".convert-tmp")
+        if tmp.resolve() == src.resolve():
+            raise StorageError("convert needs distinct source and destination paths")
+        try:
+            count = storage_for(tmp, format=target).save(src_storage.iter_load())
+            with tmp.open("rb") as handle:
+                os.fsync(handle.fileno())
+            os.replace(tmp, dst)
+        except OSError as exc:
+            raise StorageError(f"could not write {dst}: {exc}") from exc
+        finally:
+            tmp.unlink(missing_ok=True)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -348,6 +477,78 @@ def _serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _daemon(args: argparse.Namespace) -> int:
+    """Run the continuous-recrawl daemon until done or interrupted.
+
+    SIGTERM takes the same path as Ctrl-C (exactly like ``serve``): the tick
+    in flight stops at its next shard boundary's checkpoint, and the next
+    daemon run over the same --dir resumes byte-identically.
+    """
+    import signal
+    import threading
+
+    from repro.daemon import RecrawlDaemon, TickReport, parse_rules
+
+    def _sigterm(signum, frame):  # pragma: no cover - signal plumbing
+        raise KeyboardInterrupt
+
+    try:
+        config = ExperimentConfig(
+            total_sites=args.sites,
+            seed=args.seed,
+            workers=args.workers,
+            crawl_backend=args.backend,
+            sink_flush_every=args.flush_every,
+            fast_path=not args.slow_path,
+            batch_sim=args.columnar,
+            shard_oversubscribe=args.oversubscribe,
+            store_format=args.store_format,
+        )
+        daemon = RecrawlDaemon(
+            args.dir,
+            config,
+            metrics=tuple(args.metrics),
+            rules=parse_rules(args.threshold),
+            target_days=args.days,
+            retention_days=args.retention_days,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    def _report(report: TickReport) -> None:
+        if report.status == "complete":
+            print(
+                f"campaign complete at day {report.horizon} "
+                f"({report.detections} detections)",
+                flush=True,
+            )
+            return
+        label = "discovery pass" if report.day == 0 else f"crawl day {report.day}"
+        print(f"{label} done: {report.detections} detections total", flush=True)
+        for alert in report.alerts:
+            print(f"ALERT {alert['message']}", flush=True)
+
+    stop = threading.Event()
+    previous = signal.signal(signal.SIGTERM, _sigterm)
+    print(f"recrawl daemon: campaign at {daemon.workdir}", flush=True)
+    try:
+        daemon.run(
+            max_ticks=args.ticks,
+            interval=args.interval,
+            stop_event=stop,
+            on_tick=_report,
+        )
+    except KeyboardInterrupt:
+        print("daemon interrupted: campaign checkpointed and resumable", flush=True)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -378,6 +579,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "serve":
         return _serve(args)
+
+    if args.command == "daemon":
+        return _daemon(args)
 
     if args.command == "convert":
         return _convert(args)

@@ -36,6 +36,14 @@ the phase that was mid-flight when the crawl died: its shard boundaries must
 line up with the recorded completed-shard set, so resuming *that phase* with
 a different worker count raises :class:`CheckpointError` (finished phases
 and phases not yet started are free to re-plan).
+
+The day horizon (``recrawl_days``) is *extensible* rather than frozen: a
+finished campaign may resume with a larger horizon, appending net-new crawl
+days to the same sink, because each day is its own phase and completed phases
+are immutable.  Shrinking the horizon below a day the checkpoint already
+records is refused — that would orphan recorded phases — and every other
+fingerprint field still must match exactly (see
+:data:`EXTENSIBLE_FINGERPRINT_KEYS`).
 """
 
 from __future__ import annotations
@@ -57,6 +65,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
 
 __all__ = [
     "CHECKPOINT_VERSION",
+    "EXTENSIBLE_FINGERPRINT_KEYS",
     "PhaseProgress",
     "CrawlCheckpoint",
     "CrawlCheckpointer",
@@ -68,6 +77,15 @@ __all__ = [
 #: Bump whenever the on-disk checkpoint format changes incompatibly; loading
 #: a checkpoint written by a different version refuses rather than guessing.
 CHECKPOINT_VERSION = 1
+
+#: Fingerprint fields that may legitimately differ between the recorded
+#: campaign and a resuming run.  ``recrawl_days`` is the campaign's day
+#: horizon: growing it appends net-new phases after the recorded ones and
+#: never rewrites a completed phase, so a finished campaign can keep being
+#: extended day by day (the recrawl daemon's whole mode of operation).
+#: Shrinking below a recorded day is still refused in
+#: :meth:`CrawlCheckpointer.resume`.
+EXTENSIBLE_FINGERPRINT_KEYS = ("recrawl_days",)
 
 
 def _digest(parts: Iterable[str]) -> str:
@@ -314,20 +332,41 @@ class CrawlCheckpointer:
 
         Refuses (raising :class:`CheckpointError`) when the fingerprint does
         not match the current run — resuming under a different seed, population
-        or configuration would silently corrupt the dataset.  The sink's
-        half-flushed tail is truncated to the recorded offset and the kept
-        prefix re-parsed; its record count must match what the checkpoint's
-        phases add up to, so a replaced or damaged sink fails loudly instead
-        of double-counting.
+        or configuration would silently corrupt the dataset.  The day horizon
+        (``recrawl_days``, see :data:`EXTENSIBLE_FINGERPRINT_KEYS`) is the one
+        extensible field: it may grow, appending new crawl days to a finished
+        campaign, but shrinking below a day the checkpoint already records is
+        refused.  The sink's half-flushed tail is truncated to the recorded
+        offset and the kept prefix re-parsed; its record count must match what
+        the checkpoint's phases add up to, so a replaced or damaged sink fails
+        loudly instead of double-counting.
         """
         checkpoint = CrawlCheckpoint.load(path)
-        if canonical_fingerprint(checkpoint.fingerprint) != canonical_fingerprint(
-            fingerprint
-        ):
+        recorded = {
+            key: value
+            for key, value in checkpoint.fingerprint.items()
+            if key not in EXTENSIBLE_FINGERPRINT_KEYS
+        }
+        current = {
+            key: value
+            for key, value in fingerprint.items()
+            if key not in EXTENSIBLE_FINGERPRINT_KEYS
+        }
+        if canonical_fingerprint(recorded) != canonical_fingerprint(current):
             raise CheckpointError(
                 "checkpoint fingerprint does not match this run; refusing to "
-                "resume — " + _fingerprint_diff(checkpoint.fingerprint, fingerprint)
+                "resume — " + _fingerprint_diff(recorded, current)
             )
+        horizon = fingerprint.get("recrawl_days")
+        if horizon is not None and checkpoint.phases:
+            last_day = max(phase.crawl_day for phase in checkpoint.phases)
+            if int(horizon) < last_day:
+                raise CheckpointError(
+                    f"checkpoint already records crawl day {last_day} but this "
+                    f"run's horizon is recrawl_days={horizon}; completed days "
+                    f"are immutable — resume with recrawl_days >= {last_day} "
+                    f"to extend the campaign instead of shrinking it"
+                )
         prior = storage.recover_to(checkpoint.sink_offset)
         expected = sum(phase.n_detections for phase in checkpoint.phases)
         if len(prior) != expected:

@@ -1,0 +1,602 @@
+"""Continuous-recrawl daemon: grow a campaign one crawl day per tick.
+
+The paper's measurement is longitudinal — a discovery pass, then a daily
+re-crawl of the HB sites for weeks.  :class:`RecrawlDaemon` turns the
+one-shot runner into that continuously-running rig: each :meth:`~RecrawlDaemon.tick`
+appends exactly one crawl-day partition to a long-lived campaign through the
+existing checkpoint/sink machinery (resume makes completed days a no-op
+replan, so a tick only ever crawls the net-new day), recomputes the
+registered metrics over the finished day, diffs them against the previous
+day's snapshot, and emits structured regression alerts.
+
+Workdir layout (everything the daemon owns lives under one directory)::
+
+    workdir/
+      detections.hbc | detections.jsonl   canonical sink (never pruned)
+      crawl.ckpt                          crash-safe campaign checkpoint
+      daemon.json                         the daemon's recorded knobs
+      metrics/day-00002.json              per-day flattened metric snapshot
+      partitions/day-00002.hbc            per-day detection partition
+      alerts.jsonl                        append-only regression alert log
+
+Byte-identity is inherited, not re-proven: the sink a daemon grows over N
+ticks is byte-identical to a one-shot ``run`` with ``recrawl_days=N``,
+because every tick is just a checkpointed resume with an extended horizon
+(see ``EXTENSIBLE_FINGERPRINT_KEYS`` in :mod:`repro.crawler.checkpoint`).
+A kill at any instant — mid-day included — is recovered by the next tick
+exactly like any interrupted crawl.
+
+Alert rules are little threshold expressions, ``metric.field:kind=value``
+(see :func:`parse_rules`), evaluated over the *flattened* metric data — every
+numeric leaf of a :class:`~repro.analysis.registry.MetricResult`'s ``data``
+mapping keyed by its dotted path, e.g. ``table1.summary.websites_with_hb``.
+``drop`` compares a day against the previous day; ``min``/``max`` are
+absolute floors/ceilings.  Days 0 (discovery, full population) and 1 (first
+HB-only re-crawl) are structurally different populations, so rules fire from
+day 2 onward, where consecutive days are comparable.  Alerts are appended to
+``alerts.jsonl`` exactly once per (day, rule): a restarted daemon re-derives
+snapshots it lost but never duplicates an alert already logged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.dataset import CrawlDataset
+from repro.analysis.registry import compute_metric, get_metric
+from repro.crawler.checkpoint import CrawlCheckpoint
+from repro.crawler.colstore import storage_for
+from repro.crawler.storage import CrawlStorage
+from repro.errors import AnalysisError, ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentRunner
+
+__all__ = [
+    "ALERT_KINDS",
+    "AlertRule",
+    "RecrawlDaemon",
+    "TickReport",
+    "evaluate_rules",
+    "flatten_metric_data",
+    "parse_rule",
+    "parse_rules",
+]
+
+#: Supported threshold kinds: ``drop`` (relative drop vs the previous day
+#: exceeds the value), ``min`` (current value below the floor), ``max``
+#: (current value above the ceiling).
+ALERT_KINDS = ("drop", "min", "max")
+
+#: The first crawl day rules are evaluated on.  Day 0 is the discovery pass
+#: over the whole population and day 1 the first HB-only re-crawl — different
+#: populations, so a day-over-day diff only becomes meaningful at day 2.
+FIRST_COMPARABLE_DAY = 2
+
+#: Sequences longer than this are skipped when flattening metric data —
+#: ECDF curves and rank lists are plot data, not alertable scalars, and
+#: flattening them would bloat every snapshot.
+_MAX_FLATTEN_SEQUENCE = 128
+
+_SINK_NAMES = {"jsonl": "detections.jsonl", "columnar": "detections.hbc"}
+_PARTITION_SUFFIX = {"jsonl": "jsonl", "columnar": "hbc"}
+
+
+# ---------------------------------------------------------------------------
+# Alert rules
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One metric-regression threshold.
+
+    ``metric`` is a registered metric name, ``field`` a dotted path into its
+    flattened data (see :func:`flatten_metric_data`), ``kind`` one of
+    :data:`ALERT_KINDS` and ``value`` the threshold.
+    """
+
+    metric: str
+    field: str
+    kind: str
+    value: float
+
+    @property
+    def spec(self) -> str:
+        return f"{self.metric}.{self.field}:{self.kind}={self.value:g}"
+
+
+def parse_rule(spec: str) -> AlertRule:
+    """Parse one ``metric.field:kind=value`` threshold expression."""
+    head, sep, tail = spec.partition(":")
+    if not sep:
+        raise ConfigurationError(
+            f"malformed threshold {spec!r}: expected metric.field:kind=value "
+            f"(e.g. table1.summary.websites_with_hb:drop=0.25)"
+        )
+    kind, sep, raw_value = tail.partition("=")
+    kind = kind.strip()
+    if not sep or kind not in ALERT_KINDS:
+        raise ConfigurationError(
+            f"malformed threshold {spec!r}: kind must be one of "
+            f"{', '.join(ALERT_KINDS)} followed by =value"
+        )
+    metric, sep, field_path = head.partition(".")
+    if not sep or not metric or not field_path:
+        raise ConfigurationError(
+            f"malformed threshold {spec!r}: the target must be "
+            f"metric.field (a dotted path into the metric's data)"
+        )
+    try:
+        value = float(raw_value)
+    except ValueError:
+        raise ConfigurationError(
+            f"malformed threshold {spec!r}: {raw_value!r} is not a number"
+        ) from None
+    if kind == "drop" and not 0.0 < value <= 1.0:
+        raise ConfigurationError(
+            f"threshold {spec!r}: a drop threshold is a relative fraction "
+            f"in (0, 1], got {value:g}"
+        )
+    return AlertRule(metric=metric, field=field_path.strip(), kind=kind, value=value)
+
+
+def parse_rules(specs: Iterable[str]) -> tuple[AlertRule, ...]:
+    """Parse a sequence of threshold expressions."""
+    return tuple(parse_rule(spec) for spec in specs)
+
+
+def flatten_metric_data(data: Mapping, prefix: str = "") -> dict[str, float]:
+    """Every numeric leaf of a metric's data mapping, keyed by dotted path.
+
+    Nested mappings recurse; sequences recurse by index but are skipped
+    beyond :data:`_MAX_FLATTEN_SEQUENCE` elements (ECDF curves are plot
+    data, not alertable scalars).  Booleans flatten to 0/1; strings and
+    other non-numeric leaves are dropped.
+    """
+    flat: dict[str, float] = {}
+    for key, value in data.items():
+        name = str(getattr(key, "value", key))
+        path = f"{prefix}{name}"
+        _flatten_value(value, path, flat)
+    return flat
+
+
+def _flatten_value(value: object, path: str, flat: dict[str, float]) -> None:
+    if isinstance(value, Mapping):
+        for key, inner in value.items():
+            name = str(getattr(key, "value", key))
+            _flatten_value(inner, f"{path}.{name}", flat)
+    elif isinstance(value, (list, tuple)):
+        if len(value) <= _MAX_FLATTEN_SEQUENCE:
+            for index, inner in enumerate(value):
+                _flatten_value(inner, f"{path}.{index}", flat)
+    elif isinstance(value, bool):
+        flat[path] = float(value)
+    elif isinstance(value, (int, float)):
+        flat[path] = float(value)
+    elif hasattr(value, "item"):  # numpy scalar
+        try:
+            flat[path] = float(value.item())
+        except (TypeError, ValueError):  # pragma: no cover - exotic dtypes
+            pass
+
+
+def evaluate_rules(
+    rules: Sequence[AlertRule],
+    previous: Mapping[str, Mapping[str, float]],
+    current: Mapping[str, Mapping[str, float]],
+    *,
+    day: int,
+) -> list[dict]:
+    """Evaluate thresholds for ``day`` against the previous day's snapshot.
+
+    ``previous`` and ``current`` map metric name → flattened data.  A rule
+    whose field is absent from the snapshots is skipped (the metric may
+    legitimately omit a key on an empty day); everything that fires becomes
+    a structured alert record.
+    """
+    alerts: list[dict] = []
+    for rule in rules:
+        cur = current.get(rule.metric, {}).get(rule.field)
+        prev = previous.get(rule.metric, {}).get(rule.field)
+        if cur is None:
+            continue
+        fired = False
+        detail: dict = {}
+        if rule.kind == "drop":
+            if prev is None or prev <= 0:
+                continue
+            rel_drop = (prev - cur) / prev
+            fired = rel_drop > rule.value
+            detail = {"relative_drop": rel_drop}
+        elif rule.kind == "min":
+            fired = cur < rule.value
+        elif rule.kind == "max":
+            fired = cur > rule.value
+        if not fired:
+            continue
+        alerts.append(
+            {
+                "day": day,
+                "baseline_day": day - 1,
+                "metric": rule.metric,
+                "field": rule.field,
+                "kind": rule.kind,
+                "threshold": rule.value,
+                "previous": prev,
+                "current": cur,
+                "rule": rule.spec,
+                **detail,
+                "message": (
+                    f"day {day}: {rule.metric}.{rule.field}={cur:g} violates "
+                    f"{rule.kind}={rule.value:g} (day {day - 1}: "
+                    f"{'-' if prev is None else format(prev, 'g')})"
+                ),
+            }
+        )
+    return alerts
+
+
+# ---------------------------------------------------------------------------
+# The daemon
+
+
+@dataclass(frozen=True)
+class TickReport:
+    """What one daemon tick did."""
+
+    #: ``"bootstrapped"`` (discovery pass ran), ``"advanced"`` (a crawl day
+    #: was appended or completed) or ``"complete"`` (the target horizon is
+    #: already recorded; nothing ran).
+    status: str
+    #: The crawl day this tick produced (``None`` when complete).
+    day: int | None
+    #: The campaign's recorded day horizon after the tick.
+    horizon: int
+    #: Total detections in the sink after the tick.
+    detections: int
+    #: Alerts appended to the log by this tick.
+    alerts: list[dict] = field(default_factory=list)
+    #: Days whose metric snapshots this tick wrote (restart catch-up included).
+    snapshot_days: list[int] = field(default_factory=list)
+
+
+class RecrawlDaemon:
+    """Grows one long-lived campaign a crawl day at a time.
+
+    ``config`` describes the campaign (population size, seed, store format,
+    parallelism); its ``recrawl_days``/``checkpoint_path``/``resume`` fields
+    are managed by the daemon itself and overridden per tick.  ``metrics``
+    names the registered metrics snapshotted after each day (dataset-only
+    metrics — the daemon analyses the day's detections offline), ``rules``
+    the regression thresholds over them, ``target_days`` the horizon at
+    which :meth:`run` stops (``None`` = keep growing until stopped), and
+    ``retention_days`` how many trailing days keep their per-day partition
+    and snapshot files (the canonical sink and alert log are never pruned).
+
+    ``storage_factory`` injects the sink storage (the campaign service wires
+    its cancellable wrappers through here); the default is plain
+    :func:`~repro.crawler.colstore.storage_for`.
+    """
+
+    def __init__(
+        self,
+        workdir: str | Path,
+        config: ExperimentConfig,
+        *,
+        metrics: Sequence[str] = ("table1",),
+        rules: Sequence[AlertRule] = (),
+        target_days: int | None = None,
+        retention_days: int | None = None,
+        storage_factory: Callable[[Path, str], CrawlStorage] | None = None,
+    ) -> None:
+        if target_days is not None and target_days < 0:
+            raise ConfigurationError("target_days cannot be negative")
+        if retention_days is not None and retention_days < 1:
+            raise ConfigurationError("retention_days must be at least 1")
+        if not metrics:
+            raise ConfigurationError("the daemon needs at least one metric to watch")
+        for name in metrics:
+            metric = get_metric(name)  # raises UnknownMetricError
+            extra = set(metric.requires) - {"dataset"}
+            if extra:
+                raise ConfigurationError(
+                    f"metric {name!r} needs {sorted(extra)} beyond the dataset; "
+                    f"the daemon recomputes metrics offline over the day's "
+                    f"detections, so only dataset-only metrics can be watched"
+                )
+        watched = set(metrics)
+        for rule in rules:
+            if rule.metric not in watched:
+                raise ConfigurationError(
+                    f"threshold {rule.spec!r} targets metric {rule.metric!r} "
+                    f"which is not watched; add it to the daemon's metrics"
+                )
+        self.workdir = Path(workdir)
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        self.config = replace(config, checkpoint_path=None, resume=False)
+        self.metrics = tuple(metrics)
+        self.rules = tuple(rules)
+        self.target_days = target_days
+        self.retention_days = retention_days
+        self._storage_factory = storage_factory or (
+            lambda path, fmt: storage_for(path, format=fmt)
+        )
+        self.sink_path = self.workdir / _SINK_NAMES[config.store_format]
+        self.checkpoint_path = self.workdir / "crawl.ckpt"
+        self.metrics_dir = self.workdir / "metrics"
+        self.partitions_dir = self.workdir / "partitions"
+        self.alert_log = self.workdir / "alerts.jsonl"
+        if self.sink_path.exists() and not self.checkpoint_path.exists():
+            raise ConfigurationError(
+                f"{self.workdir} holds a detection sink but no checkpoint; "
+                f"refusing to overwrite it — point the daemon at a fresh "
+                f"directory or restore the campaign's crawl.ckpt"
+            )
+        self._write_manifest()
+
+    # -- state views -------------------------------------------------------------
+    def recorded_state(self) -> tuple[int, bool] | None:
+        """``(last recorded crawl day, finished?)`` or ``None`` pre-bootstrap."""
+        if not self.checkpoint_path.exists():
+            return None
+        checkpoint = CrawlCheckpoint.load(self.checkpoint_path)
+        if not checkpoint.phases:
+            return None
+        last = checkpoint.phases[-1]
+        return last.crawl_day, last.done
+
+    def next_target(self) -> tuple[int, bool] | None:
+        """``(target recrawl_days, resume?)`` for the next tick.
+
+        ``None`` means the campaign already reached ``target_days`` and the
+        next tick is a no-op.  An unfinished last day is re-targeted (the
+        tick completes it); otherwise the horizon grows by one.
+        """
+        state = self.recorded_state()
+        if state is None:
+            return 0, False
+        last_day, finished = state
+        if not finished:
+            return last_day, True
+        if self.target_days is not None and last_day >= self.target_days:
+            return None
+        return last_day + 1, True
+
+    # -- the tick ---------------------------------------------------------------
+    def tick(self) -> TickReport:
+        """Advance the campaign by (at most) one crawl day.
+
+        Bootstraps the discovery pass on the first call, completes an
+        interrupted day if the previous tick was killed mid-crawl, appends
+        the next day otherwise, then writes metric snapshots and per-day
+        partitions for every recorded day that is missing one, evaluates
+        the alert rules, and applies the retention policy.
+        """
+        target = self.next_target()
+        if target is None:
+            state = self.recorded_state()
+            horizon = state[0] if state else 0
+            return TickReport(
+                status="complete",
+                day=None,
+                horizon=horizon,
+                detections=self._sink_detections(),
+            )
+        days, resume = target
+        config = replace(
+            self.config,
+            recrawl_days=days,
+            checkpoint_path=str(self.checkpoint_path),
+            resume=resume,
+        )
+        storage = self._storage_factory(self.sink_path, config.store_format)
+        artifacts = ExperimentRunner(config).run(use_cache=False, storage=storage)
+        alerts, snapshot_days = self._record_days(artifacts)
+        self._prune(last_day=days)
+        return TickReport(
+            status="bootstrapped" if days == 0 else "advanced",
+            day=days,
+            horizon=days,
+            detections=len(artifacts.dataset),
+            alerts=alerts,
+            snapshot_days=snapshot_days,
+        )
+
+    def run(
+        self,
+        *,
+        max_ticks: int | None = None,
+        interval: float = 0.0,
+        stop_event=None,
+        on_tick: Callable[[TickReport], None] | None = None,
+    ) -> list[TickReport]:
+        """Tick until the target horizon, ``max_ticks``, or ``stop_event``.
+
+        ``interval`` seconds pass between ticks (interruptibly, when a
+        ``stop_event`` is given).  ``on_tick`` sees every report as it
+        lands — the CLI prints them live through this.
+        """
+        reports: list[TickReport] = []
+        while max_ticks is None or len(reports) < max_ticks:
+            report = self.tick()
+            reports.append(report)
+            if on_tick is not None:
+                on_tick(report)
+            if report.status == "complete":
+                break
+            if (
+                self.target_days is not None
+                and report.day is not None
+                and report.day >= self.target_days
+            ):
+                break
+            if stop_event is not None:
+                if stop_event.wait(interval):
+                    break
+            elif interval > 0:
+                time.sleep(interval)
+        return reports
+
+    # -- snapshots, partitions, alerts ------------------------------------------
+    def _record_days(self, artifacts) -> tuple[list[dict], list[int]]:
+        """Snapshot + partition every recorded day missing them; alert on new days."""
+        longitudinal = artifacts.longitudinal
+        per_day = [list(longitudinal.discovery.detections)]
+        per_day.extend(list(r.detections) for r in longitudinal.daily_results)
+        alerted = self._alerted_days()
+        emitted: list[dict] = []
+        snapshot_days: list[int] = []
+        previous: dict | None = None
+        for day, detections in enumerate(per_day):
+            snapshot = self._load_snapshot(day)
+            if snapshot is None:
+                snapshot = self._snapshot_day(day, detections)
+                snapshot_days.append(day)
+                self._write_partition(day, detections)
+                if day >= FIRST_COMPARABLE_DAY and day not in alerted:
+                    baseline = (
+                        previous
+                        if previous is not None and previous["day"] == day - 1
+                        else self._load_snapshot(day - 1)
+                    )
+                    if baseline is not None:
+                        alerts = evaluate_rules(
+                            self.rules,
+                            baseline["metrics"],
+                            snapshot["metrics"],
+                            day=day,
+                        )
+                        if alerts:
+                            self._append_alerts(alerts)
+                            emitted.extend(alerts)
+                self._write_snapshot(day, snapshot)
+            previous = snapshot
+        return emitted, snapshot_days
+
+    def _snapshot_day(self, day: int, detections: list) -> dict:
+        dataset = CrawlDataset.from_detections(detections, label=f"day-{day:05d}")
+        context = AnalysisContext.offline(dataset)
+        flat: dict[str, dict[str, float]] = {}
+        for name in self.metrics:
+            try:
+                result = compute_metric(name, context)
+            except AnalysisError:
+                # An empty day (e.g. a population with no HB sites) has no
+                # metrics; record the day with no fields rather than dying.
+                flat[name] = {}
+            else:
+                flat[name] = flatten_metric_data(result.data)
+        return {"day": day, "detections": len(detections), "metrics": flat}
+
+    def _snapshot_path(self, day: int) -> Path:
+        return self.metrics_dir / f"day-{day:05d}.json"
+
+    def _partition_path(self, day: int) -> Path:
+        suffix = _PARTITION_SUFFIX[self.config.store_format]
+        return self.partitions_dir / f"day-{day:05d}.{suffix}"
+
+    def _load_snapshot(self, day: int) -> dict | None:
+        path = self._snapshot_path(day)
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def _write_snapshot(self, day: int, snapshot: dict) -> None:
+        # The snapshot is the day's "recorded" marker, so it is written last
+        # (after the partition and any alerts) and atomically — a kill
+        # between any two steps re-derives the day on the next tick.
+        path = self._snapshot_path(day)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, sort_keys=True, indent=2)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    def _write_partition(self, day: int, detections: list) -> None:
+        path = self._partition_path(day)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        storage_for(path, format=self.config.store_format).save(detections)
+
+    def _alerted_days(self) -> set[int]:
+        days: set[int] = set()
+        for record in self.read_alerts():
+            if isinstance(record.get("day"), int):
+                days.add(record["day"])
+        return days
+
+    def _append_alerts(self, alerts: list[dict]) -> None:
+        stamp = time.time()
+        with self.alert_log.open("a", encoding="utf-8") as handle:
+            for alert in alerts:
+                alert.setdefault("ts", stamp)
+                handle.write(json.dumps(alert, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def read_alerts(self) -> list[dict]:
+        """Every alert recorded so far, in emission order."""
+        try:
+            lines = self.alert_log.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            return []
+        records = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue  # a torn tail from a kill mid-append
+        return records
+
+    # -- retention ---------------------------------------------------------------
+    def _prune(self, *, last_day: int) -> None:
+        """Drop per-day partition + snapshot files outside the retention window.
+
+        Keeps the trailing ``retention_days`` days and always at least the
+        last two (the next tick's regression diff needs the previous day's
+        snapshot).  The canonical sink, checkpoint and alert log are never
+        touched — they are what resume and byte-identity are built on.
+        """
+        if self.retention_days is None:
+            return
+        floor = min(last_day - self.retention_days, last_day - 2)
+        for day in range(0, floor + 1):
+            self._partition_path(day).unlink(missing_ok=True)
+            self._snapshot_path(day).unlink(missing_ok=True)
+
+    # -- bookkeeping -------------------------------------------------------------
+    def _sink_detections(self) -> int:
+        if not self.checkpoint_path.exists():
+            return 0
+        checkpoint = CrawlCheckpoint.load(self.checkpoint_path)
+        return sum(phase.n_detections for phase in checkpoint.phases)
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "config": {
+                "total_sites": self.config.total_sites,
+                "seed": self.config.seed,
+                "store_format": self.config.store_format,
+                "workers": self.config.workers,
+                "crawl_backend": self.config.crawl_backend,
+            },
+            "metrics": list(self.metrics),
+            "rules": [rule.spec for rule in self.rules],
+            "target_days": self.target_days,
+            "retention_days": self.retention_days,
+        }
+        path = self.workdir / "daemon.json"
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(manifest, sort_keys=True, indent=2), encoding="utf-8")
+        os.replace(tmp, path)

@@ -134,6 +134,13 @@ class ExperimentRunner:
         of them, so an interrupted crawl may resume with different
         parallelism (the engine still insists the mid-flight phase re-plans
         identically).
+
+        ``recrawl_days`` is recorded but *extensible* on resume: each crawl
+        day is its own immutable phase, so a finished campaign may resume
+        with a larger horizon and append net-new days (how the continuous
+        recrawl daemon grows a campaign one day per tick).  Shrinking the
+        horizon below a recorded day, or changing any other field, is still
+        refused by :meth:`CrawlCheckpointer.resume`.
         """
         crawl = self.config.crawl_config()
         fingerprint = {

@@ -13,12 +13,18 @@ Routes
 ``GET /campaigns/{id}``                     one campaign's state/counters/links
 ``DELETE /campaigns/{id}``                  cancel (leaves a resumable checkpoint)
 ``POST /campaigns/{id}/resume``             continue a cancelled/failed campaign
+``POST /campaigns/{id}/ticks``              extend a finished campaign by one crawl
+                                            day (a recrawl-daemon tick; optional JSON
+                                            body with ``metrics``/``thresholds``)
 ``GET /campaigns/{id}/detections``          filtered + paginated detection query
 ``GET /campaigns/{id}/artifacts/{name}``    any registered metric (``?format=text``
                                             for the exact CLI rendering), or the raw
                                             sink via name ``detections.jsonl``
 ``GET /campaigns/{id}/events``              server-sent events: progress + live
-                                            metric snapshots while the crawl runs
+                                            metric snapshots while the crawl runs,
+                                            ``alert`` events from the campaign's
+                                            regression alert log, and ``: keepalive``
+                                            comments while idle
 ``GET /``                                   service description
 ==========================================  =============================================
 
@@ -57,6 +63,12 @@ __all__ = ["ReproServiceServer", "running_server", "DEFAULT_EVENT_INTERVAL"]
 
 #: Default SSE polling interval (seconds) between sink staleness probes.
 DEFAULT_EVENT_INTERVAL = 0.5
+
+#: Default idle interval (seconds) after which an SSE stream with nothing to
+#: say writes a ``: keepalive`` comment line, so proxies and keep-alive
+#: clients do not time the connection out during long gaps (a daemon-grown
+#: campaign idles between crawl days).  Clients tune it with ``?keepalive=``.
+DEFAULT_KEEPALIVE_INTERVAL = 15.0
 
 #: Hard ceiling on one SSE connection's lifetime, so an abandoned stream
 #: cannot pin a handler thread forever.  Clients pass ``?timeout=`` to lower it.
@@ -118,6 +130,35 @@ def _json_key(key: Any) -> str:
     if isinstance(key, enum.Enum):
         key = key.value
     return key if isinstance(key, str) else str(key)
+
+
+def _tail_alerts(path: Path, offset: int) -> tuple[list[dict], int]:
+    """Complete JSONL alert records past ``offset``, plus the new offset.
+
+    Reads only whole lines — a half-appended record stays for the next poll —
+    so an SSE stream tailing the log never emits a torn alert.
+    """
+    try:
+        size = path.stat().st_size
+    except OSError:
+        return [], offset
+    if size <= offset:
+        return [], offset
+    with path.open("rb") as handle:
+        handle.seek(offset)
+        chunk = handle.read()
+    end = chunk.rfind(b"\n")
+    if end < 0:
+        return [], offset
+    records = []
+    for line in chunk[: end + 1].splitlines():
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return records, offset + end + 1
 
 
 def _offline_metric_names() -> list[str]:
@@ -238,6 +279,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             return self._dispatch(self._post_campaign)
         if len(parts) == 3 and parts[0] == "campaigns" and parts[2] == "resume":
             return self._dispatch(self._post_resume, parts[1])
+        if len(parts) == 3 and parts[0] == "campaigns" and parts[2] == "ticks":
+            return self._dispatch(self._post_tick, parts[1])
         return self._dispatch(self._not_found)
 
     def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
@@ -267,6 +310,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                     "GET /campaigns/{id}",
                     "DELETE /campaigns/{id}",
                     "POST /campaigns/{id}/resume",
+                    "POST /campaigns/{id}/ticks",
                     "GET /campaigns/{id}/detections",
                     "GET /campaigns/{id}/artifacts/{name}",
                     "GET /campaigns/{id}/events",
@@ -282,6 +326,41 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     def _post_resume(self, campaign_id: str) -> None:
         campaign = self.server.manager.resume(campaign_id)
         self._send_json(202, campaign.to_dict())
+
+    def _post_tick(self, campaign_id: str) -> None:
+        """Extend a finished campaign by one crawl day (a daemon tick).
+
+        The optional JSON body tunes the tick: ``metrics`` (watched
+        dataset-only metric names), ``thresholds`` (regression rules,
+        ``metric.field:kind=value``) and ``retention_days``.  Alerts the
+        tick emits land in the campaign's alert log and stream over
+        ``/events`` as ``alert`` events.
+        """
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self._read_json_body() if length else {}
+        if not isinstance(body, Mapping):
+            raise ServiceError("a tick body must be a JSON object")
+        unknown = set(body) - {"metrics", "thresholds", "retention_days"}
+        if unknown:
+            raise ServiceError(f"unknown tick fields: {sorted(unknown)}")
+        metrics = body.get("metrics", ["table1"])
+        thresholds = body.get("thresholds", [])
+        if not isinstance(metrics, list) or not all(isinstance(m, str) for m in metrics):
+            raise ServiceError("tick field 'metrics' must be a list of metric names")
+        if not isinstance(thresholds, list) or not all(isinstance(t, str) for t in thresholds):
+            raise ServiceError(
+                "tick field 'thresholds' must be a list of metric.field:kind=value rules"
+            )
+        retention = body.get("retention_days")
+        if retention is not None and (not isinstance(retention, int) or retention < 1):
+            raise ServiceError("tick field 'retention_days' must be a positive integer")
+        campaign, day = self.server.manager.tick(
+            campaign_id,
+            metrics=tuple(metrics),
+            thresholds=tuple(thresholds),
+            retention_days=retention,
+        )
+        self._send_json(202, {**campaign.to_dict(), "tick_day": day})
 
     def _delete_campaign(self, campaign_id: str) -> None:
         campaign = self.server.manager.cancel(campaign_id)
@@ -337,15 +416,21 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     # -- server-sent events --------------------------------------------------------
     def _get_events(self, campaign_id: str, params: dict[str, list[str]]) -> None:
-        """Stream ``progress`` / ``metrics`` / ``state`` events until done.
+        """Stream ``progress`` / ``metrics`` / ``alert`` / ``state`` events.
 
         Each poll round probes the sink with ``size()``; when new bytes have
         been flushed, the newly-completed records are folded into the
         campaign's store (O(Δ) index upkeep, the ``analyze --watch``
         machinery) and one ``progress`` event — plus one ``metrics`` snapshot
-        per requested artifact set — is emitted.  The stream always ends with
-        a final ``metrics`` snapshot over the finished dataset and one
-        ``state`` event, then closes.
+        per requested artifact set — is emitted.  The campaign's regression
+        alert log (``alerts.jsonl``, written by daemon ticks) is tailed the
+        same way: every record streams exactly once per connection as an
+        ``alert`` event, existing records first.  When a poll round has
+        nothing to say for ``?keepalive=`` seconds, a ``: keepalive`` SSE
+        comment line is written so idle streams survive proxies and client
+        read timeouts.  The stream always ends with a final ``metrics``
+        snapshot over the finished dataset and one ``state`` event, then
+        closes.
         """
         manager = self.server.manager
         campaign = manager.get(campaign_id)
@@ -364,6 +449,13 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         except ValueError:
             raise ServiceError("query parameter 'timeout' must be a number") from None
         timeout = min(max(timeout, interval), MAX_EVENT_SECONDS)
+        try:
+            keepalive = float(
+                params.get("keepalive", [str(DEFAULT_KEEPALIVE_INTERVAL)])[-1]
+            )
+        except ValueError:
+            raise ServiceError("query parameter 'keepalive' must be a number") from None
+        keepalive = min(max(keepalive, 0.02), MAX_EVENT_SECONDS)
 
         self.send_response(200)
         self.send_header("Content-Type", "text/event-stream; charset=utf-8")
@@ -374,16 +466,32 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
         deadline = time.monotonic() + timeout
         store = campaign.store
+        alert_offset = 0
+
+        def drain_alerts() -> bool:
+            nonlocal alert_offset
+            alerts, alert_offset = _tail_alerts(campaign.alert_log_path, alert_offset)
+            for alert in alerts:
+                self._emit("alert", {"campaign": campaign.id, **alert})
+            return bool(alerts)
+
         try:
             self._emit("progress", self._progress_payload(campaign, fresh=0))
+            last_emit = time.monotonic()
             while True:
+                emitted = drain_alerts()
                 fresh = store.refresh()
                 finished = campaign.terminal and store.drained()
                 if fresh:
+                    emitted = True
                     self._emit("progress", self._progress_payload(campaign, fresh=fresh))
                     if artifact_names and not finished:
                         self._emit("metrics", self._metrics_payload(campaign, artifact_names, final=False))
                 if finished:
+                    # A tick appends its last alerts just before the campaign
+                    # flips terminal; drain anything that landed since the
+                    # check above so no alert is lost to the close.
+                    drain_alerts()
                     if artifact_names:
                         self._emit("metrics", self._metrics_payload(campaign, artifact_names, final=True))
                     self._emit("state", campaign.to_dict(refresh=False))
@@ -391,6 +499,15 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 if time.monotonic() > deadline:
                     self._emit("timeout", {"campaign": campaign.id, "state": campaign.state})
                     return
+                now = time.monotonic()
+                if emitted:
+                    last_emit = now
+                elif now - last_emit >= keepalive:
+                    # An SSE comment line: ignored by every spec-compliant
+                    # client, but keeps the connection visibly alive.
+                    self.wfile.write(b": keepalive\n\n")
+                    self.wfile.flush()
+                    last_emit = now
                 time.sleep(interval)
         except (BrokenPipeError, ConnectionResetError):
             return

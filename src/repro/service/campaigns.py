@@ -33,7 +33,7 @@ import time
 import uuid
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Any, Iterable, Mapping
+from typing import Any, Iterable, Mapping, Sequence
 
 from repro.crawler.colstore import ColumnarDetectionSink, ColumnarStorage
 from repro.crawler.storage import CrawlStorage, DetectionSink
@@ -259,6 +259,19 @@ class Campaign:
         return self.workdir / "crawl.ckpt"
 
     @property
+    def alert_log_path(self) -> Path:
+        """The recrawl daemon's append-only regression alert log."""
+        return self.workdir / "alerts.jsonl"
+
+    @property
+    def alert_count(self) -> int:
+        try:
+            with self.alert_log_path.open("rb") as handle:
+                return sum(1 for line in handle if line.strip())
+        except OSError:
+            return 0
+
+    @property
     def terminal(self) -> bool:
         return self.state in TERMINAL_STATES
 
@@ -276,6 +289,7 @@ class Campaign:
             "finished_at": self.finished_at,
             "config": campaign_config_to_dict(self.config),
             "resumable": self.checkpoint_path.exists(),
+            "alerts": self.alert_count,
             "detections": {
                 "indexed": self.store.count,
                 "sink_bytes": self.store.storage.size(),
@@ -384,6 +398,99 @@ class CampaignManager:
             campaign._cancel = threading.Event()
         self._start(campaign, resume=campaign.checkpoint_path.exists())
         return campaign
+
+    def tick(
+        self,
+        campaign_id: str,
+        *,
+        metrics: Sequence[str] = ("table1",),
+        thresholds: Sequence[str] = (),
+        retention_days: int | None = None,
+    ) -> tuple[Campaign, int]:
+        """Extend a finished campaign by one crawl day (a daemon tick).
+
+        Re-queues a ``done`` campaign and runs one
+        :meth:`repro.daemon.RecrawlDaemon.tick` over its working directory on
+        a background thread: the day horizon grows by one (the checkpoint
+        fingerprint treats ``recrawl_days`` as extensible), the new day's
+        detections append to the same sink byte-identically, the watched
+        ``metrics`` are snapshotted, and any firing ``thresholds`` append to
+        ``alerts.jsonl`` — which the campaign's ``/events`` SSE stream tails
+        as ``alert`` events.
+
+        The grown horizon is recorded on the campaign *before* the crawl
+        starts, so a tick cancelled mid-day resumes (``resume()``) under the
+        extended horizon and completes the day; its metric snapshot and
+        alerts then catch up on the next tick.  Returns the campaign and the
+        crawl day this tick targets.
+        """
+        from repro.daemon import RecrawlDaemon, parse_rules
+
+        campaign = self.get(campaign_id)
+        rules = parse_rules(thresholds)
+        with self._lock:
+            if self._shutting_down:
+                raise ServiceError("the service is shutting down; not accepting ticks")
+            if campaign.state != "done":
+                raise CampaignStateError(
+                    f"campaign {campaign_id} is {campaign.state}; only finished "
+                    f"(done) campaigns can tick — resume interrupted ones first"
+                )
+            daemon = RecrawlDaemon(
+                campaign.workdir,
+                campaign.config,
+                metrics=tuple(metrics),
+                rules=rules,
+                # The sink factory reads campaign._cancel at call time, so the
+                # fresh cancel event below is the one the tick observes.
+                storage_factory=lambda path, fmt: _cancellable_storage(
+                    path, fmt, campaign._cancel
+                ),
+            )
+            target = daemon.next_target()
+            if target is None:  # pragma: no cover - target_days is never set here
+                raise CampaignStateError(f"campaign {campaign_id} has nothing to tick")
+            day = target[0]
+            campaign.config = replace(campaign.config, recrawl_days=day)
+            campaign.state = "queued"
+            campaign.error = None
+            campaign.finished_at = None
+            campaign._cancel = threading.Event()
+        thread = threading.Thread(
+            target=self._run_tick,
+            args=(campaign, daemon),
+            name=f"campaign-{campaign.id}-tick",
+            daemon=True,
+        )
+        campaign._thread = thread
+        thread.start()
+        return campaign, day
+
+    def _run_tick(self, campaign: Campaign, daemon) -> None:
+        while not self._slots.acquire(timeout=0.05):
+            if campaign._cancel.is_set():
+                self._finish(campaign, "cancelled")
+                return
+        try:
+            with self._lock:
+                if campaign._cancel.is_set():
+                    self._finish(campaign, "cancelled", locked=True)
+                    return
+                campaign.state = "running"
+                campaign.started_at = time.time()
+                campaign.runs += 1
+            try:
+                daemon.tick()
+            except CampaignCancelled:
+                self._finish(campaign, "cancelled")
+            except ReproError as exc:
+                self._finish(campaign, "failed", error=str(exc))
+            except Exception as exc:  # noqa: BLE001 - a tick must never kill the server
+                self._finish(campaign, "failed", error=f"{type(exc).__name__}: {exc}")
+            else:
+                self._finish(campaign, "done")
+        finally:
+            self._slots.release()
 
     def shutdown(self, *, timeout: float = 30.0) -> None:
         """Stop accepting campaigns, cancel everything in flight, and wait.

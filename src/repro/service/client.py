@@ -100,6 +100,26 @@ class ServiceClient:
     def resume(self, campaign_id: str) -> dict[str, Any]:
         return self._json("POST", f"/campaigns/{campaign_id}/resume")
 
+    def tick(
+        self,
+        campaign_id: str,
+        *,
+        metrics: tuple[str, ...] | list[str] | None = None,
+        thresholds: tuple[str, ...] | list[str] | None = None,
+        retention_days: int | None = None,
+    ) -> dict[str, Any]:
+        """Extend a finished campaign by one crawl day (a recrawl-daemon tick)."""
+        body: dict[str, Any] = {}
+        if metrics is not None:
+            body["metrics"] = list(metrics)
+        if thresholds is not None:
+            body["thresholds"] = list(thresholds)
+        if retention_days is not None:
+            body["retention_days"] = retention_days
+        return self._json(
+            "POST", f"/campaigns/{campaign_id}/ticks", body=body or None
+        )
+
     def wait(
         self, campaign_id: str, *, timeout: float = 120.0, interval: float = 0.1
     ) -> dict[str, Any]:
@@ -158,18 +178,23 @@ class ServiceClient:
         artifacts: tuple[str, ...] = (),
         interval: float | None = None,
         timeout: float | None = None,
+        keepalive: float | None = None,
         read_timeout: float = 600.0,
     ) -> Iterator[tuple[str, Any]]:
         """Iterate the campaign's SSE stream as ``(event, payload)`` pairs.
 
         Terminates when the server closes the stream (after the final
-        ``state`` event, or a server-side ``timeout`` event).
+        ``state`` event, or a server-side ``timeout`` event).  The server's
+        ``: keepalive`` comment lines are consumed silently, as the SSE spec
+        prescribes.
         """
         params = [("artifact", name) for name in artifacts]
         if interval is not None:
             params.append(("interval", str(interval)))
         if timeout is not None:
             params.append(("timeout", str(timeout)))
+        if keepalive is not None:
+            params.append(("keepalive", str(keepalive)))
         query = "?" + urlencode(params) if params else ""
         url = f"{self.base_url}/campaigns/{campaign_id}/events{query}"
         request = Request(url, headers={"Accept": "text/event-stream"})
@@ -210,9 +235,10 @@ class ServiceClient:
 
         The result maps ``"state"`` to the final campaign dict, ``"metrics"``
         to the last metrics payload seen (the final snapshot when artifacts
-        were requested) and ``"progress"`` to every progress payload.
+        were requested), ``"progress"`` to every progress payload and
+        ``"alerts"`` to every regression alert streamed.
         """
-        out: dict[str, Any] = {"state": None, "metrics": None, "progress": []}
+        out: dict[str, Any] = {"state": None, "metrics": None, "progress": [], "alerts": []}
         for event, payload in self.events(
             campaign_id, artifacts=artifacts, interval=interval, timeout=timeout
         ):
@@ -220,6 +246,8 @@ class ServiceClient:
                 out["progress"].append(payload)
             elif event == "metrics":
                 out["metrics"] = payload
+            elif event == "alert":
+                out["alerts"].append(payload)
             elif event == "state":
                 out["state"] = payload
         return out

@@ -220,3 +220,166 @@ class TestCheckpointCli:
         assert main(self.RUN + ["--save", str(tmp_path / "out.jsonl"),
                     "--checkpoint", str(tmp_path / "nope.json"), "--resume"]) == 1
         assert "no checkpoint to resume" in capsys.readouterr().err
+
+
+class TestWatchProbe:
+    """The size() staleness probe: an idle watch never opens the file."""
+
+    class _CountingStorage:
+        def __init__(self, inner):
+            self._inner = inner
+            self.path = inner.path
+            self.size_calls = 0
+            self.read_new_calls = 0
+
+        def size(self):
+            self.size_calls += 1
+            return self._inner.size()
+
+        def read_new(self, offset):
+            self.read_new_calls += 1
+            return self._inner.read_new(offset)
+
+    def _seeded_storage(self, tmp_path, n=3):
+        from repro.crawler.storage import CrawlStorage
+        from tests.test_crawler_storage import sample_detection
+
+        storage = CrawlStorage(tmp_path / "crawl.jsonl")
+        storage.save([sample_detection(domain=f"site{i}.example") for i in range(1, n + 1)])
+        return storage
+
+    def test_idle_watch_reads_once_then_only_stats(self, capsys, tmp_path):
+        from repro.cli import _watch
+
+        counting = self._CountingStorage(self._seeded_storage(tmp_path))
+        assert _watch(counting, [], interval=0, rounds=5) == 0
+        assert counting.read_new_calls == 1  # the initial catch-up read
+        assert counting.size_calls == 5  # one cheap stat per poll
+        assert "3 detections (+3)" in capsys.readouterr().out
+
+    def test_watch_on_empty_file_never_opens_it(self, tmp_path):
+        from repro.cli import _watch
+
+        counting = self._CountingStorage(self._seeded_storage(tmp_path, n=0))
+        assert _watch(counting, [], interval=0, rounds=4) == 0
+        assert counting.read_new_calls == 0
+        assert counting.size_calls == 4
+
+    def test_shrunk_file_restarts_via_the_probe(self, capsys, tmp_path):
+        from repro.cli import _watch
+        from tests.test_crawler_storage import sample_detection
+
+        storage = self._seeded_storage(tmp_path)
+
+        class _ShrinkAfterRead(self._CountingStorage):
+            def read_new(self, offset):
+                new, new_offset = super().read_new(offset)
+                if self.read_new_calls == 1:
+                    # Replace the sink with a shorter one behind the watcher.
+                    self._inner.path.unlink()
+                    self._inner.save([sample_detection(domain="solo.example")])
+                return new, new_offset
+
+        counting = _ShrinkAfterRead(storage)
+        assert _watch(counting, [], interval=0, rounds=4) == 0
+        out = capsys.readouterr().out
+        assert "file changed, restarting watch" in out
+        assert "1 detections (+1)" in out
+
+
+class TestConvertCli:
+    def _crawl(self, tmp_path, name="crawl.jsonl"):
+        out = tmp_path / name
+        assert main(["run", "--sites", "400", "--days", "0", "--seed", "7",
+                     "--save", str(out)]) == 0
+        return out
+
+    def test_round_trip_is_byte_identical(self, capsys, tmp_path):
+        src = self._crawl(tmp_path)
+        packed = tmp_path / "crawl.hbc"
+        back = tmp_path / "back.jsonl"
+        assert main(["convert", str(src), str(packed)]) == 0
+        assert main(["convert", str(packed), str(back)]) == 0
+        assert back.read_bytes() == src.read_bytes()
+        assert "Converted" in capsys.readouterr().out
+        assert not list(tmp_path.glob("*.convert-tmp"))
+
+    def test_failed_convert_leaves_destination_untouched(self, capsys, tmp_path, monkeypatch):
+        import repro.cli as cli_mod
+
+        src = self._crawl(tmp_path)
+        dst = tmp_path / "crawl.hbc"
+        assert main(["convert", str(src), str(dst)]) == 0
+        good = dst.read_bytes()
+
+        real = cli_mod.storage_for
+
+        class _ExplodingStorage:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def save(self, detections):
+                # Write a torn prefix, then die — like a full disk mid-write.
+                self._inner.path.write_bytes(b"torn")
+                raise OSError("disk full")
+
+        def faulty(path, format=None, **kwargs):
+            storage = real(path, format=format, **kwargs) if format else real(path)
+            if path.name.endswith(".convert-tmp"):
+                return _ExplodingStorage(storage)
+            return storage
+
+        monkeypatch.setattr(cli_mod, "storage_for", faulty)
+        assert main(["convert", str(src), str(dst), "--force"]) == 1
+        assert "error:" in capsys.readouterr().err
+        assert dst.read_bytes() == good  # the old file survived intact
+        assert not list(tmp_path.glob("*.convert-tmp"))
+
+    def test_existing_destination_needs_force(self, capsys, tmp_path):
+        src = self._crawl(tmp_path)
+        dst = tmp_path / "crawl.hbc"
+        assert main(["convert", str(src), str(dst)]) == 0
+        assert main(["convert", str(src), str(dst)]) == 1
+        assert "--force" in capsys.readouterr().err
+        assert main(["convert", str(src), str(dst), "--force"]) == 0
+
+
+class TestDaemonCli:
+    def test_daemon_flags_parse_with_defaults(self):
+        args = build_parser().parse_args(["daemon", "--dir", "campaign"])
+        assert args.sites == 2000 and args.seed == 2019
+        assert args.days is None and args.interval == 60.0
+        assert args.metrics == ["table1"] and args.threshold == []
+        assert args.store_format == "columnar"
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["daemon", "--dir", "d", "--days", "-1"],
+            ["daemon", "--dir", "d", "--interval", "-5"],
+            ["daemon", "--dir", "d", "--ticks", "0"],
+            ["daemon", "--dir", "d", "--metrics", "bogus"],
+        ],
+    )
+    def test_invalid_daemon_flags_fail_cleanly(self, argv):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+
+    def test_malformed_threshold_is_a_clean_error(self, capsys, tmp_path):
+        assert main(["daemon", "--dir", str(tmp_path / "d"),
+                     "--threshold", "not-a-rule"]) == 1
+        assert "malformed threshold" in capsys.readouterr().err
+
+    def test_daemon_runs_a_short_campaign_and_prints_alerts(self, capsys, tmp_path):
+        workdir = tmp_path / "campaign"
+        assert main([
+            "daemon", "--dir", str(workdir), "--sites", "400", "--seed", "7",
+            "--days", "2", "--interval", "0",
+            "--threshold", "table1.summary.websites_with_hb:min=100000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "discovery pass done" in out
+        assert "crawl day 2 done" in out
+        assert "ALERT day 2:" in out
+        assert (workdir / "detections.hbc").exists()
+        assert (workdir / "alerts.jsonl").read_text().count("\n") == 1

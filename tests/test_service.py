@@ -10,6 +10,7 @@ offline metric identically to a local ``repro run``.
 import json
 import threading
 import time
+import urllib.error
 import urllib.request
 
 import pytest
@@ -358,3 +359,104 @@ class TestCampaignManager:
             assert campaign.store.count == len(CrawlStorage(campaign.sink_path).load())
         finally:
             manager.shutdown(timeout=60)
+
+
+class TestTicks:
+    """POST /campaigns/{id}/ticks — daemon ticks through the service."""
+
+    # An absolute floor no simulated day reaches: every tick alerts.
+    FLOOR = "table1.summary.websites_with_hb:min=100000"
+
+    def test_tick_extends_campaign_and_streams_the_alert(self, client):
+        submitted = client.submit({"sites": 60, "days": 1, "seed": 13})
+        cid = submitted["id"]
+        client.wait(cid, timeout=300)
+
+        ticked = client.tick(cid, thresholds=[self.FLOOR])
+        assert ticked["tick_day"] == 2
+        assert ticked["state"] in ("queued", "running")
+        tail = client.stream_to_completion(cid, interval=0.05)
+        assert tail["state"]["state"] == "done"
+        assert tail["state"]["config"]["recrawl_days"] == 2
+        assert tail["state"]["alerts"] == 1
+        assert len(tail["alerts"]) == 1
+        alert = tail["alerts"][0]
+        assert alert["campaign"] == cid
+        assert alert["day"] == 2 and alert["kind"] == "min"
+
+        # A second stream replays the logged alert exactly once.
+        replay = client.stream_to_completion(cid, interval=0.05)
+        assert len(replay["alerts"]) == 1
+
+        # The grown sink equals a one-shot two-day run of the same campaign.
+        done = client.wait(cid, timeout=300)
+        assert done["runs"] == 2
+        config = campaign_config_from_dict({"sites": 60, "days": 2, "seed": 13})
+        path_free_bytes = client.download(cid)
+        import tempfile
+        from pathlib import Path
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "oneshot.jsonl"
+            ExperimentRunner(config).run(use_cache=False, storage=CrawlStorage(path))
+            assert path_free_bytes == path.read_bytes()
+
+    def test_tick_while_running_is_409(self, client):
+        submitted = client.submit({"sites": 400, "days": 2, "seed": 21, "workers": 2})
+        cid = submitted["id"]
+        with pytest.raises(ServiceClientError) as err:
+            client.tick(cid)
+        assert err.value.status == 409
+        client.wait(cid, timeout=300)
+
+    def test_tick_unknown_campaign_is_404(self, client):
+        with pytest.raises(ServiceClientError) as err:
+            client.tick("nope")
+        assert err.value.status == 404
+
+    def test_tick_with_unknown_body_key_is_400(self, client, campaign, server):
+        body = json.dumps({"bogus": 1}).encode()
+        request = urllib.request.Request(
+            f"{server.base_url}/campaigns/{campaign['id']}/ticks",
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=30)
+        assert err.value.code == 400
+
+    def test_tick_with_malformed_threshold_is_400(self, client, campaign):
+        with pytest.raises(ServiceClientError) as err:
+            client.tick(campaign["id"], thresholds=["not-a-rule"])
+        assert err.value.status == 400
+
+
+class TestKeepalive:
+    def test_idle_stream_carries_keepalive_comments(self, tmp_path):
+        """A queued campaign emits nothing, so the stream must heartbeat."""
+        with running_server(tmp_path / "ka", max_parallel=1) as srv:
+            ka_client = ServiceClient(srv.base_url)
+            blocker = ka_client.submit({"sites": 4000, "days": 2, "seed": 3})
+            queued = ka_client.submit({"sites": 40, "days": 1, "seed": 4})
+            url = (
+                f"{srv.base_url}/campaigns/{queued['id']}/events"
+                f"?interval=0.05&keepalive=0.05&timeout=0.5"
+            )
+            raw = urllib.request.urlopen(url, timeout=30).read()
+            assert b": keepalive\n\n" in raw
+            assert b"event: timeout" in raw
+            for cid in (blocker["id"], queued["id"]):
+                try:
+                    ka_client.cancel(cid)
+                except ServiceClientError:
+                    pass  # already finished
+
+    def test_keepalive_comments_are_invisible_to_the_parser(self, client):
+        """ServiceClient.events yields only real events on a keepalive-dense stream."""
+        submitted = client.submit({"sites": 60, "days": 1, "seed": 17})
+        events = list(
+            client.events(submitted["id"], interval=0.05, keepalive=0.02)
+        )
+        kinds = {event for event, _ in events}
+        assert kinds <= {"refresh", "progress", "metrics", "state", "alert"}
+        assert events[-1][0] == "state"
