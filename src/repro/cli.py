@@ -155,6 +155,33 @@ def build_parser() -> argparse.ArgumentParser:
         "uninterrupted run",
     )
     run.add_argument(
+        "--shard-retries", type=_nonnegative_int, default=2, metavar="N",
+        help="retry a failed shard attempt up to N times before quarantining "
+        "it (default %(default)s; retried shards reproduce identical bytes)",
+    )
+    run.add_argument(
+        "--shard-timeout", type=_positive_float, default=None, metavar="SECONDS",
+        help="per-attempt wall-clock budget for pool backends; a timed-out "
+        "shard is retried under the normal policy (default: no timeout)",
+    )
+    run.add_argument(
+        "--retry-backoff", type=_nonnegative_float, default=0.1, metavar="SECONDS",
+        help="base backoff between retry attempts, exponential with "
+        "deterministic jitter (default %(default)s)",
+    )
+    run.add_argument(
+        "--inject-faults", metavar="SPEC", default=None,
+        help="chaos-test the supervision layer with injected faults, e.g. "
+        "'seed=7,crash@p=0.2x4,hang@shard=3~5.0,sink@count=10x2' (kinds: "
+        "crash/hang/slow/raise/sink; keys: shard/count/p); the crawl still "
+        "produces byte-identical detections",
+    )
+    run.add_argument(
+        "--fault-log", metavar="PATH", default=None,
+        help="append supervision events (retries, pool rebuilds, quarantines) "
+        "to PATH as JSON lines",
+    )
+    run.add_argument(
         "--figures",
         nargs="+",
         default=["table1", "adoption", "facet", "fig12"],
@@ -318,9 +345,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="sink format for the long-lived campaign (default %(default)s; "
         "`hbrepro convert` translates to the JSONL reference bytes)",
     )
+    daemon.add_argument(
+        "--shard-retries", type=_nonnegative_int, default=2, metavar="N",
+        help="retry a failed shard attempt up to N times (default %(default)s)",
+    )
+    daemon.add_argument(
+        "--shard-timeout", type=_positive_float, default=None, metavar="SECONDS",
+        help="per-attempt wall-clock budget for pool backends (default: none)",
+    )
 
     sub.add_parser("list", help="list every artefact the run and analyze commands can print")
     return parser
+
+
+def _print_supervision(longitudinal) -> None:
+    """Report supervision activity (retries, quarantines) after a run.
+
+    Silent on a fault-free run.  A degraded campaign (quarantined shards)
+    warns on stderr with the failed shards and the resume instructions —
+    the printed artefacts below cover only the completed prefix.
+    """
+    results = [longitudinal.discovery, *longitudinal.daily_results]
+    retries = sum(r.retries for r in results)
+    rebuilds = sum(r.pool_rebuilds for r in results)
+    sink_retries = sum(r.sink_retries for r in results)
+    if retries or rebuilds or sink_retries:
+        print(
+            f"supervision: {retries} shard retr{'y' if retries == 1 else 'ies'}, "
+            f"{rebuilds} pool rebuild(s), {sink_retries} sink retr"
+            f"{'y' if sink_retries == 1 else 'ies'}; detections unaffected\n"
+        )
+    quarantined = [
+        (day, failure)
+        for day, result in enumerate(results)
+        for failure in result.quarantined_shards
+    ]
+    if quarantined:
+        print(
+            f"WARNING: crawl completed DEGRADED: {len(quarantined)} shard(s) "
+            "quarantined after exhausting retries; artefacts below cover only "
+            "the completed prefix",
+            file=sys.stderr,
+        )
+        for day, failure in quarantined:
+            label = "discovery" if day == 0 else f"day {day}"
+            print(
+                f"  {label} shard {failure.shard_index} "
+                f"({failure.attempts} attempts): {failure.error}",
+                file=sys.stderr,
+            )
+        print(
+            "re-run with --resume to re-crawl the quarantined shards "
+            "(requires --checkpoint)",
+            file=sys.stderr,
+        )
 
 
 def _print_artifacts(names: Sequence[str], context: AnalysisContext) -> None:
@@ -503,6 +581,8 @@ def _daemon(args: argparse.Namespace) -> int:
             batch_sim=args.columnar,
             shard_oversubscribe=args.oversubscribe,
             store_format=args.store_format,
+            shard_retries=args.shard_retries,
+            shard_timeout=args.shard_timeout,
         )
         daemon = RecrawlDaemon(
             args.dir,
@@ -517,6 +597,10 @@ def _daemon(args: argparse.Namespace) -> int:
         return 1
 
     def _report(report: TickReport) -> None:
+        if report.status == "failed":
+            print(f"tick failed: {report.error} (backing off, will retry)",
+                  file=sys.stderr, flush=True)
+            return
         if report.status == "complete":
             print(
                 f"campaign complete at day {report.horizon} "
@@ -618,6 +702,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             batch_sim=args.columnar,
             shard_oversubscribe=args.oversubscribe,
             store_format=args.store_format,
+            shard_retries=args.shard_retries,
+            shard_timeout=args.shard_timeout,
+            retry_backoff=args.retry_backoff,
+            fault_spec=args.inject_faults,
+            fault_log=args.fault_log,
         )
         storage = storage_for(args.save, format=args.store_format) if args.save else None
         artifacts = ExperimentRunner(config).run(storage=storage)
@@ -627,8 +716,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     if storage is not None:
         print(f"Streamed {len(artifacts.longitudinal.all_detections)} detections "
               f"to {storage.path}\n")
-    _print_artifacts(args.figures, AnalysisContext.from_artifacts(artifacts))
-    return 0
+    _print_supervision(artifacts.longitudinal)
+    try:
+        _print_artifacts(args.figures, AnalysisContext.from_artifacts(artifacts))
+    except ReproError as exc:
+        # A heavily degraded run may not have enough data for the requested
+        # artefacts (e.g. an empty dataset); the quarantine report above
+        # already told the operator what happened.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 1 if artifacts.longitudinal.degraded else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation

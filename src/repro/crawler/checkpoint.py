@@ -150,6 +150,13 @@ class PhaseProgress:
     pages_visited: int
     sessions_started: int
     timed_out_domains: tuple[str, ...]
+    #: Shards quarantined by the supervision layer (as
+    #: :meth:`~repro.crawler.crawler.ShardFailure.to_dict` mappings).
+    #: Non-empty marks the phase *degraded*: the crawl gave up on these
+    #: shards, and a resume re-crawls everything from the completed prefix
+    #: on — clearing this field in the process.  Absent in pre-supervision
+    #: checkpoints, which load as an empty tuple.
+    quarantined: tuple[Mapping, ...] = ()
 
     @property
     def done(self) -> bool:
@@ -165,6 +172,7 @@ class PhaseProgress:
             "pages_visited": self.pages_visited,
             "sessions_started": self.sessions_started,
             "timed_out_domains": list(self.timed_out_domains),
+            "quarantined": [dict(entry) for entry in self.quarantined],
         }
 
     @classmethod
@@ -179,6 +187,7 @@ class PhaseProgress:
                 pages_visited=int(data["pages_visited"]),
                 sessions_started=int(data["sessions_started"]),
                 timed_out_domains=tuple(str(d) for d in data["timed_out_domains"]),
+                quarantined=tuple(dict(entry) for entry in data.get("quarantined", ())),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise CheckpointError(f"malformed checkpoint phase record: {exc}") from exc
@@ -472,6 +481,13 @@ class CrawlCheckpointer:
                     f"shard_oversubscribe knob existed planned one shard per "
                     f"worker — resume those with --oversubscribe 1)"
                 )
+            if phase.quarantined:
+                # Re-opening a degraded phase: the quarantined shards are
+                # about to be re-crawled (everything past the completed
+                # prefix is), so the quarantine record is cleared — it will
+                # be re-recorded only if they fail again.
+                phase = replace(phase, quarantined=())
+                self._phases[-1] = phase
             skip = len(phase.completed_shards)
             expected_domains = tuple(
                 publisher.domain
@@ -528,3 +544,23 @@ class CrawlCheckpointer:
         self._sink_offset = sink_offset
         if persist:
             self.save()
+
+    def record_quarantine(self, crawl_day: int, failures: Iterable) -> None:
+        """Persist the phase's quarantined shards (degraded completion).
+
+        ``failures`` are :class:`~repro.crawler.crawler.ShardFailure`
+        instances (or dicts in that shape).  Also persists any progress that
+        :meth:`record_progress` recorded in-memory-only under checkpoint
+        throttling, so a resume sees the true completed prefix.
+        """
+        if not self._phases or self._phases[-1].crawl_day != crawl_day:
+            raise CheckpointError(
+                f"record_quarantine for day {crawl_day} without a matching "
+                f"begin_phase; phases are recorded strictly in crawl order"
+            )
+        entries = tuple(
+            entry if isinstance(entry, Mapping) else entry.to_dict()
+            for entry in failures
+        )
+        self._phases[-1] = replace(self._phases[-1], quarantined=entries)
+        self.save()

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import reduce
-from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 
 from repro.detector.detector import HBDetector
 from repro.detector.records import SiteDetection
@@ -28,7 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
     from repro.crawler.checkpoint import CrawlCheckpointer
     from repro.crawler.engine import CrawlEngine, DetectionSinkLike, ExecutionBackend
 
-__all__ = ["CrawlConfig", "CrawlResult", "Crawler", "BACKEND_NAMES"]
+__all__ = ["CrawlConfig", "CrawlResult", "ShardFailure", "Crawler", "BACKEND_NAMES"]
 
 #: Names accepted by :attr:`CrawlConfig.backend`; the backend implementations
 #: live in :mod:`repro.crawler.engine`, which re-exports this tuple.
@@ -78,6 +78,31 @@ class CrawlConfig:
     #: sequential crawl always uses a single shard.  Detections are
     #: byte-identical for any value; only scheduling granularity changes.
     shard_oversubscribe: int = 4
+    #: Supervision: how many times a failed shard attempt is retried before
+    #: the shard is quarantined (or, with :attr:`quarantine` off, the crawl
+    #: aborts).  Because shard simulation is deterministic, a retried shard
+    #: reproduces exactly the bytes the failed attempt would have produced —
+    #: supervision never changes output, only availability.
+    shard_retries: int = 2
+    #: Per-attempt wall-clock budget in seconds for pool backends (``None``
+    #: disables).  A timed-out attempt's future is abandoned (a hung worker
+    #: keeps its slot until it wakes) and the shard is retried/quarantined
+    #: under the normal policy.  Not enforceable on the serial backend, which
+    #: runs shards in the calling thread.
+    shard_timeout: float | None = None
+    #: Base backoff in seconds between retry attempts; attempt *n* waits
+    #: ``retry_backoff * 2**(n-1)`` scaled by a deterministic jitter factor
+    #: in ``[0.5, 1.0)`` derived from ``(seed, shard, attempt)``.  Also the
+    #: policy used for transient sink-write retries.
+    retry_backoff: float = 0.1
+    #: After a shard exhausts its retries, quarantine it and complete the
+    #: crawl degraded (quarantined shards are recorded in the checkpoint and
+    #: re-crawlable via resume) instead of aborting the whole campaign.
+    quarantine: bool = True
+    #: Optional path of a JSON-lines supervision event log (retries, pool
+    #: rebuilds, quarantines, sink retries).  Written best-effort by the
+    #: parent process; the service tails it into SSE ``fault`` events.
+    fault_log: str | None = None
 
     def __post_init__(self) -> None:
         if self.page_load_timeout_ms <= 0:
@@ -96,6 +121,45 @@ class CrawlConfig:
             raise ConfigurationError(
                 f"unknown backend {self.backend!r}; expected one of {', '.join(BACKEND_NAMES)}"
             )
+        if self.shard_retries < 0:
+            raise ConfigurationError("shard_retries cannot be negative")
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ConfigurationError("shard_timeout must be positive (or None)")
+        if self.retry_backoff < 0:
+            raise ConfigurationError("retry_backoff cannot be negative")
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """One shard quarantined after exhausting its retry budget.
+
+    Carries everything an operator needs to triage and re-run: the shard's
+    position in the plan, the last error, how many attempts were burned, and
+    the domains the shard covers.  JSON-able via :meth:`to_dict` so it can be
+    persisted in checkpoints and served by the campaign API.
+    """
+
+    shard_index: int
+    error: str
+    attempts: int
+    domains: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "shard": self.shard_index,
+            "error": self.error,
+            "attempts": self.attempts,
+            "domains": list(self.domains),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ShardFailure":
+        return cls(
+            shard_index=int(data["shard"]),
+            error=str(data["error"]),
+            attempts=int(data["attempts"]),
+            domains=tuple(str(d) for d in data.get("domains", ())),
+        )
 
 
 @dataclass
@@ -106,6 +170,20 @@ class CrawlResult:
     timed_out_domains: list[str] = field(default_factory=list)
     pages_visited: int = 0
     sessions_started: int = 0
+    #: Supervision bookkeeping: shard attempts retried, worker pools rebuilt
+    #: after a dead worker, transient sink writes retried.  All zero on a
+    #: fault-free run; never part of the byte-identity surface.
+    retries: int = 0
+    pool_rebuilds: int = 0
+    sink_retries: int = 0
+    #: Shards that exhausted their retry budget; non-empty means the crawl
+    #: completed *degraded* — its detections cover only the shards before
+    #: the first quarantined index, and a resume re-crawls the rest.
+    quarantined_shards: tuple[ShardFailure, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.quarantined_shards)
 
     @property
     def hb_detections(self) -> list[SiteDetection]:
@@ -134,6 +212,10 @@ class CrawlResult:
             timed_out_domains=self.timed_out_domains + other.timed_out_domains,
             pages_visited=self.pages_visited + other.pages_visited,
             sessions_started=self.sessions_started + other.sessions_started,
+            retries=self.retries + other.retries,
+            pool_rebuilds=self.pool_rebuilds + other.pool_rebuilds,
+            sink_retries=self.sink_retries + other.sink_retries,
+            quarantined_shards=self.quarantined_shards + other.quarantined_shards,
         )
 
     @classmethod
@@ -161,6 +243,7 @@ class Crawler:
         config: CrawlConfig | None = None,
         *,
         backend: "ExecutionBackend | None" = None,
+        fault_plan: object | None = None,
     ) -> None:
         from repro.crawler.engine import CrawlEngine
 
@@ -168,7 +251,7 @@ class Crawler:
         self.detector = detector
         self.config = config or CrawlConfig()
         self.engine: "CrawlEngine" = CrawlEngine(
-            environment, detector, self.config, backend=backend
+            environment, detector, self.config, backend=backend, fault_plan=fault_plan
         )
 
     def close(self) -> None:

@@ -55,19 +55,40 @@ more than one shard's tail of detections in memory.
 
 from __future__ import annotations
 
+import json
 import pickle
 import threading
-from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, ThreadPoolExecutor, wait
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Protocol, Sequence
 
 from repro.browser.engine import BrowserEngine
-from repro.crawler.crawler import BACKEND_NAMES, CrawlConfig, CrawlResult, ProgressCallback
+from repro.crawler.crawler import (
+    BACKEND_NAMES,
+    CrawlConfig,
+    CrawlResult,
+    ProgressCallback,
+    ShardFailure,
+)
 from repro.crawler.session import CrawlSession
 from repro.detector.detector import HBDetector
 from repro.detector.records import SiteDetection
 from repro.ecosystem.publishers import Publisher, PublisherPopulation
-from repro.errors import ConfigurationError
+from repro.errors import (
+    CampaignCancelled,
+    CheckpointError,
+    ConfigurationError,
+    ShardTimeout,
+    StorageError,
+)
 from repro.hb.environment import AuctionEnvironment
 from repro.utils.rng import stable_hash
 
@@ -80,6 +101,8 @@ __all__ = [
     "CrawlPlan",
     "WorkerContext",
     "SharedPayload",
+    "SupervisionPolicy",
+    "ShardFailure",
     "ExecutionBackend",
     "SerialBackend",
     "ThreadPoolBackend",
@@ -400,8 +423,12 @@ def _process_context() -> WorkerContext:
     return context
 
 
-def _run_shard_in_process(shard: CrawlShard, crawl_day: int) -> CrawlResult:
+def _run_shard_in_process(
+    shard: CrawlShard, crawl_day: int, fault: Callable[[], None] | None = None
+) -> CrawlResult:
     """Entry point for process-pool shard tasks (only the descriptor ships)."""
+    if fault is not None:
+        fault()
     return _crawl_shard(_process_context(), crawl_day, None, shard)
 
 
@@ -413,6 +440,7 @@ def _run_shard_from_shared_sites(
     length: int,
     shard_seed: int,
     crawl_day: int,
+    fault: Callable[[], None] | None = None,
 ) -> CrawlResult:
     """Process-pool shard task whose publishers live in a shared site list.
 
@@ -420,6 +448,8 @@ def _run_shard_from_shared_sites(
     attaches to the published site list once, caches it, and slices its own
     contiguous shard out of it — no per-shard publisher pickling at all.
     """
+    if fault is not None:
+        fault()
     sites = _PROCESS_SITE_CACHE.get(sites_name)
     if sites is None:
         sites = list(_read_shared_payload(sites_name, sites_size))
@@ -451,14 +481,179 @@ def _init_thread_worker(local: threading.local, prototype: WorkerContext) -> Non
 
 
 def _run_shard_in_thread(
-    local: threading.local, prototype: WorkerContext, shard: CrawlShard, crawl_day: int
+    local: threading.local,
+    prototype: WorkerContext,
+    shard: CrawlShard,
+    crawl_day: int,
+    fault: Callable[[], None] | None = None,
 ) -> CrawlResult:
     """Entry point for thread-pool shard tasks, using the thread's context."""
+    if fault is not None:
+        fault()
     context = getattr(local, "context", None)
     if context is None:  # pragma: no cover - defensive: initializer always runs
         _init_thread_worker(local, prototype)
         context = local.context
     return _crawl_shard(context, crawl_day, None, shard)
+
+
+# ---------------------------------------------------------------------------
+# Supervision
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """How a backend treats a failing or overdue shard attempt.
+
+    Built from the crawl config (:meth:`from_config`) and installed on
+    backends by the engine via ``set_supervision``.  The defaults describe
+    the *unsupervised* legacy behaviour: no retries, no timeout, failures
+    abort the crawl.
+    """
+
+    retries: int = 0
+    timeout: float | None = None
+    backoff: float = 0.0
+    seed: int = 0
+    quarantine: bool = False
+
+    @classmethod
+    def from_config(cls, config: CrawlConfig) -> "SupervisionPolicy":
+        return cls(
+            retries=config.shard_retries,
+            timeout=config.shard_timeout,
+            backoff=config.retry_backoff,
+            seed=config.seed,
+            quarantine=config.quarantine,
+        )
+
+    def delay(self, key: object, attempt: int) -> float:
+        """Exponential backoff before retry ``attempt`` (1-based).
+
+        The jitter factor in ``[0.5, 1.0)`` is derived from
+        ``(seed, key, attempt)`` instead of wall-clock randomness, so retry
+        schedules — like everything else in a crawl — are reproducible.
+        """
+        if self.backoff <= 0:
+            return 0.0
+        jitter = 0.5 + (stable_hash(self.seed, "retry", key, attempt) % 1024) / 2048.0
+        return self.backoff * (2 ** (attempt - 1)) * jitter
+
+
+def _retryable(exc: BaseException) -> bool:
+    """Whether supervision may retry after ``exc``.
+
+    Configuration and checkpoint errors reproduce identically on every
+    attempt, and a cancelled campaign must stop *now* — everything else
+    (injected faults, broken pools, transient I/O) is assumed transient.
+    """
+    return not isinstance(exc, (ConfigurationError, CheckpointError, CampaignCancelled))
+
+
+class _ReplayEmitter:
+    """Wraps an ``on_detection`` target so shard retries never double-emit.
+
+    Inline backends stream page by page, so when a shard attempt fails
+    mid-stream some of its detections have already reached the sink.  A
+    retried attempt re-simulates the shard deterministically — the same
+    detections in the same order — so the emitter swallows the first
+    ``delivered`` of them and streaming resumes exactly where it stopped,
+    keeping the sink bytes identical to a fault-free run.
+    """
+
+    __slots__ = ("_target", "delivered", "_seen")
+
+    def __init__(self, target: Callable[[SiteDetection], None]) -> None:
+        self._target = target
+        self.delivered = 0
+        self._seen = 0
+
+    def reset(self) -> None:
+        """Forget the previous shard (call at every shard start)."""
+        self.delivered = 0
+        self._seen = 0
+
+    def begin_attempt(self) -> None:
+        """Start (re)playing the current shard from its first detection."""
+        self._seen = 0
+
+    def __call__(self, detection: SiteDetection) -> None:
+        self._seen += 1
+        if self._seen <= self.delivered:
+            return
+        self._target(detection)
+        self.delivered = self._seen
+
+
+class _SupervisionMixin:
+    """Shared retry/quarantine bookkeeping for the built-in backends."""
+
+    def _init_supervision(self) -> None:
+        self._policy: SupervisionPolicy | None = None
+        self._on_event: Callable[..., None] | None = None
+        self._fault_plan = None
+        #: Lifetime counters; the engine snapshots deltas per crawl.
+        self.retries = 0
+        self.quarantined = 0
+        self.pool_rebuilds = 0
+
+    def set_supervision(
+        self,
+        policy: SupervisionPolicy | None,
+        on_event: Callable[..., None] | None = None,
+    ) -> None:
+        """Install the retry/timeout/quarantine policy (engine-called)."""
+        self._policy = policy
+        self._on_event = on_event
+
+    def set_fault_plan(self, plan) -> None:
+        """Install a fault-injection plan (``None`` clears it)."""
+        self._fault_plan = plan
+
+    def _event(self, kind: str, **data) -> None:
+        if self._on_event is not None:
+            self._on_event(kind, **data)
+
+    def _next_fault(self, shard: CrawlShard, attempt: int):
+        if self._fault_plan is None:
+            return None
+        return self._fault_plan.next_action(shard.index, attempt)
+
+    def _failure_verdict(
+        self,
+        policy: SupervisionPolicy | None,
+        shard: CrawlShard,
+        attempt: int,
+        exc: BaseException,
+    ):
+        """Classify one failed attempt: ``("retry", delay)``,
+        ``("quarantine", ShardFailure)``, or re-raise ``exc``."""
+        if policy is not None and _retryable(exc):
+            error = f"{type(exc).__name__}: {exc}"
+            if attempt < policy.retries:
+                self.retries += 1
+                delay = policy.delay(shard.index, attempt + 1)
+                self._event(
+                    "retry",
+                    shard=shard.index,
+                    attempt=attempt + 1,
+                    delay=round(delay, 3),
+                    error=error,
+                )
+                return "retry", delay
+            if policy.quarantine:
+                self.quarantined += 1
+                failure = ShardFailure(
+                    shard_index=shard.index,
+                    error=error,
+                    attempts=attempt + 1,
+                    domains=tuple(p.domain for p in shard.publishers),
+                )
+                self._event(
+                    "quarantine", shard=shard.index, attempts=attempt + 1, error=error
+                )
+                return "quarantine", failure
+        raise exc
 
 
 # ---------------------------------------------------------------------------
@@ -483,8 +678,13 @@ class ExecutionBackend(Protocol):
         shards: Sequence[CrawlShard],
         crawl_day: int,
         on_detection: Callable[[SiteDetection], None] | None,
-    ) -> Iterator[tuple[int, CrawlResult]]:
-        """Run every shard, yielding ``(shard_index, result)``."""
+    ) -> Iterator[tuple[int, "CrawlResult | ShardFailure"]]:
+        """Run every shard, yielding ``(shard_index, result)``.
+
+        Supervised backends (see ``set_supervision``) may yield a
+        :class:`ShardFailure` in place of a result for a shard that
+        exhausted its retry budget and was quarantined.
+        """
         ...
 
     def shutdown(self) -> None:
@@ -497,12 +697,18 @@ class ExecutionBackend(Protocol):
     # publishes it in shared memory).  The engine treats it as optional.
 
 
-class SerialBackend:
+class SerialBackend(_SupervisionMixin):
     """Run shards one after another in the calling thread (the default).
 
     The single worker is the caller itself, so the context wraps the engine's
     own environment/detector without any copy — exactly the paper's
     sequential crawl.
+
+    Supervision notes: ``shard_timeout`` is not enforceable here (there is no
+    second thread to preempt the caller), and an injected ``crash`` fault
+    degrades to an exception — killing the only process would defeat the
+    point.  Retries replay a shard through a :class:`_ReplayEmitter`, so the
+    detections an earlier attempt already streamed are skipped, not repeated.
     """
 
     name = "serial"
@@ -510,6 +716,7 @@ class SerialBackend:
 
     def __init__(self) -> None:
         self._context: WorkerContext | None = None
+        self._init_supervision()
 
     def prepare(self, context: WorkerContext) -> None:
         self._context = context
@@ -519,23 +726,62 @@ class SerialBackend:
         shards: Sequence[CrawlShard],
         crawl_day: int,
         on_detection: Callable[[SiteDetection], None] | None,
-    ) -> Iterator[tuple[int, CrawlResult]]:
+    ) -> Iterator[tuple[int, "CrawlResult | ShardFailure"]]:
         if self._context is None:
             raise ConfigurationError("backend used before prepare()")
+        if self._policy is None and self._fault_plan is None:
+            for shard in shards:
+                yield shard.index, _crawl_shard(
+                    self._context, crawl_day, on_detection, shard
+                )
+            return
+        emitter = _ReplayEmitter(on_detection) if on_detection is not None else None
         for shard in shards:
-            yield shard.index, _crawl_shard(self._context, crawl_day, on_detection, shard)
+            if emitter is not None:
+                emitter.reset()
+            attempt = 0
+            while True:
+                if emitter is not None:
+                    emitter.begin_attempt()
+                try:
+                    fault = self._next_fault(shard, attempt)
+                    if fault is not None:
+                        fault()
+                    result = _crawl_shard(self._context, crawl_day, emitter, shard)
+                except Exception as exc:
+                    verdict, extra = self._failure_verdict(
+                        self._policy, shard, attempt, exc
+                    )
+                    if verdict == "retry":
+                        attempt += 1
+                        if extra:
+                            time.sleep(extra)
+                        continue
+                    yield shard.index, extra  # the ShardFailure
+                    break
+                else:
+                    yield shard.index, result
+                    break
 
     def shutdown(self) -> None:
         self._context = None
 
 
-class _ExecutorBackend:
+class _ExecutorBackend(_SupervisionMixin):
     """Shared machinery for ``concurrent.futures`` based backends.
 
     The executor is created lazily on first use and then *persists* across
     ``execute()`` calls, so per-worker setup (context build, environment
     pickling) happens once per worker for the backend's whole lifetime
     instead of once per crawl.  ``shutdown()`` releases the pool.
+
+    With a :class:`SupervisionPolicy` installed, ``execute`` runs a
+    supervised loop: failed attempts retry with deterministic backoff, a
+    :class:`BrokenExecutor` (a worker died) rebuilds the pool in place and
+    resubmits everything that was in flight, attempts that exceed
+    ``policy.timeout`` are abandoned and retried, and a shard that exhausts
+    its budget is yielded as a :class:`ShardFailure` instead of aborting
+    the crawl.
     """
 
     name = "executor"
@@ -548,6 +794,7 @@ class _ExecutorBackend:
         self._context: WorkerContext | None = None
         self._executor: Executor | None = None
         self._pool_size = 0
+        self._init_supervision()
 
     def prepare(self, context: WorkerContext) -> None:
         if self._context is not None and self._executor is not None:
@@ -570,7 +817,13 @@ class _ExecutorBackend:
     def _make_executor(self, context: WorkerContext, workers: int) -> Executor:
         raise NotImplementedError
 
-    def _submit(self, executor: Executor, shard: CrawlShard, crawl_day: int):
+    def _submit(
+        self,
+        executor: Executor,
+        shard: CrawlShard,
+        crawl_day: int,
+        fault: Callable[[], None] | None = None,
+    ):
         raise NotImplementedError
 
     def execute(
@@ -578,7 +831,7 @@ class _ExecutorBackend:
         shards: Sequence[CrawlShard],
         crawl_day: int,
         on_detection: Callable[[SiteDetection], None] | None,
-    ) -> Iterator[tuple[int, CrawlResult]]:
+    ) -> Iterator[tuple[int, "CrawlResult | ShardFailure"]]:
         if self._context is None:
             raise ConfigurationError("backend used before prepare()")
         if not shards:
@@ -592,12 +845,120 @@ class _ExecutorBackend:
         if self._executor is None:
             self._pool_size = desired
             self._executor = self._make_executor(self._context, desired)
-        futures = {self._submit(self._executor, shard, crawl_day): shard.index for shard in shards}
-        pending = set(futures)
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+        if self._policy is None and self._fault_plan is None:
+            futures = {self._submit(self._executor, shard, crawl_day): shard.index for shard in shards}
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    yield futures[future], future.result()
+            return
+        yield from self._supervised_execute(shards, crawl_day)
+
+    def _supervised_execute(
+        self, shards: Sequence[CrawlShard], crawl_day: int
+    ) -> Iterator[tuple[int, "CrawlResult | ShardFailure"]]:
+        policy = self._policy or SupervisionPolicy()
+        in_flight: dict = {}  # future -> (shard, attempt, deadline)
+        waiting: list = []  # (ready_at, shard, attempt) scheduled resubmissions
+
+        def submit(shard: CrawlShard, attempt: int) -> None:
+            fault = self._next_fault(shard, attempt)
+            future = self._submit(self._executor, shard, crawl_day, fault=fault)
+            deadline = time.monotonic() + policy.timeout if policy.timeout else None
+            in_flight[future] = (shard, attempt, deadline)
+
+        def dispose(shard: CrawlShard, attempt: int, exc: BaseException):
+            """Schedule a retry (returns None) or hand back a ShardFailure."""
+            verdict, extra = self._failure_verdict(policy, shard, attempt, exc)
+            if verdict == "retry":
+                # Backoff without blocking the loop: the resubmission waits
+                # in `waiting` while other shards keep completing.
+                waiting.append((time.monotonic() + extra, shard, attempt + 1))
+                return None
+            return extra
+
+        for shard in shards:
+            submit(shard, 0)
+        while in_flight or waiting:
+            now = time.monotonic()
+            due = [entry for entry in waiting if entry[0] <= now]
+            if due:
+                waiting[:] = [entry for entry in waiting if entry[0] > now]
+                for _, shard, attempt in due:
+                    submit(shard, attempt)
+            if not in_flight:
+                # Everything outstanding is backing off; sleep to the
+                # earliest resubmission.
+                time.sleep(max(0.0, min(entry[0] for entry in waiting) - now))
+                continue
+            # Bound the wait so attempt deadlines and due resubmissions are
+            # noticed promptly; with neither in play, block like the
+            # unsupervised loop does.
+            horizon = [d for (_, _, d) in in_flight.values() if d is not None]
+            horizon.extend(entry[0] for entry in waiting)
+            poll = max(0.0, min(horizon) - now) + 0.005 if horizon else None
+            done, _ = wait(set(in_flight), timeout=poll, return_when=FIRST_COMPLETED)
             for future in done:
-                yield futures[future], future.result()
+                entry = in_flight.pop(future, None)
+                if entry is None:
+                    # A late result from an abandoned (timed-out) attempt or
+                    # a pool rebuild; the shard was already re-dispatched.
+                    continue
+                shard, attempt, _ = entry
+                try:
+                    result = future.result()
+                except BrokenExecutor as exc:
+                    # A worker died (SIGKILL, OOM): the pool is unusable and
+                    # every in-flight future fails with it.  Rebuild the pool
+                    # in place — the shared payload and published site blocks
+                    # are still live and re-attach as-is — and charge one
+                    # attempt to every shard that was in flight: the killer
+                    # cannot be attributed, but innocents succeed on retry
+                    # while a poison shard exhausts its budget on repeats.
+                    casualties = [(shard, attempt)]
+                    casualties.extend((s, a) for (s, a, _) in in_flight.values())
+                    in_flight.clear()
+                    self.pool_rebuilds += 1
+                    self._event(
+                        "pool_rebuild",
+                        error=f"{type(exc).__name__}: {exc}",
+                        resubmitted=len(casualties),
+                    )
+                    self._executor.shutdown(wait=False)
+                    self._executor = self._make_executor(self._context, self._pool_size)
+                    for s, a in casualties:
+                        failure = dispose(s, a, exc)
+                        if failure is not None:
+                            yield s.index, failure
+                    break  # the rest of `done` died with the same pool
+                except Exception as exc:
+                    failure = dispose(shard, attempt, exc)
+                    if failure is not None:
+                        yield shard.index, failure
+                else:
+                    yield shard.index, result
+            if policy.timeout:
+                now = time.monotonic()
+                for future, (shard, attempt, deadline) in list(in_flight.items()):
+                    if deadline is None or now < deadline:
+                        continue
+                    # Abandon the attempt: a running future cannot be
+                    # cancelled, so a genuinely hung worker keeps its slot
+                    # until it wakes (its eventual result is discarded); a
+                    # still-queued future is cancelled outright.  The
+                    # deadline covers queue wait, so on a saturated pool a
+                    # timeout may fire before the attempt ever ran — the
+                    # retry simply queues again.
+                    del in_flight[future]
+                    future.cancel()
+                    exc = ShardTimeout(
+                        f"shard {shard.index} attempt {attempt + 1} exceeded "
+                        f"{policy.timeout:g}s"
+                    )
+                    failure = dispose(shard, attempt, exc)
+                    if failure is not None:
+                        yield shard.index, failure
 
     def shutdown(self) -> None:
         if self._executor is not None:
@@ -637,8 +998,16 @@ class ThreadPoolBackend(_ExecutorBackend):
             initargs=(self._local, context),
         )
 
-    def _submit(self, executor: Executor, shard: CrawlShard, crawl_day: int):
-        return executor.submit(_run_shard_in_thread, self._local, self._context, shard, crawl_day)
+    def _submit(
+        self,
+        executor: Executor,
+        shard: CrawlShard,
+        crawl_day: int,
+        fault: Callable[[], None] | None = None,
+    ):
+        return executor.submit(
+            _run_shard_in_thread, self._local, self._context, shard, crawl_day, fault
+        )
 
 
 class ProcessPoolBackend(_ExecutorBackend):
@@ -704,7 +1073,13 @@ class ProcessPoolBackend(_ExecutorBackend):
             initargs=(self._payload.name, self._payload.size),
         )
 
-    def _submit(self, executor: Executor, shard: CrawlShard, crawl_day: int):
+    def _submit(
+        self,
+        executor: Executor,
+        shard: CrawlShard,
+        crawl_day: int,
+        fault: Callable[[], None] | None = None,
+    ):
         if self._current_sites is not None:
             sites, block = self._current_sites
             start, length = shard.start, len(shard.publishers)
@@ -721,9 +1096,10 @@ class ProcessPoolBackend(_ExecutorBackend):
                     length,
                     shard.shard_seed,
                     crawl_day,
+                    fault,
                 )
         self.fallback_tasks += 1
-        return executor.submit(_run_shard_in_process, shard, crawl_day)
+        return executor.submit(_run_shard_in_process, shard, crawl_day, fault)
 
     def shutdown(self) -> None:
         super().shutdown()
@@ -774,9 +1150,16 @@ class CrawlEngine:
         copy per process) instead of receiving copies per shard.
     config:
         Operational crawl parameters; ``config.workers`` and
-        ``config.backend`` choose the default execution strategy.
+        ``config.backend`` choose the default execution strategy, and the
+        ``shard_retries`` / ``shard_timeout`` / ``retry_backoff`` /
+        ``quarantine`` knobs configure the supervision layer.
     backend:
         Explicit backend instance, overriding the config-derived one.
+    fault_plan:
+        Optional :class:`repro.testing.FaultPlan`; the engine installs it on
+        the backend (shard-level crash/hang/raise faults) and wraps the sink
+        with it (transient write failures).  Supervision must absorb every
+        injected fault without changing a byte of output.
 
     Pool backends keep their workers alive between :meth:`crawl` calls;
     call :meth:`close` (or use ``with CrawlEngine(...) as engine:``) to
@@ -789,6 +1172,7 @@ class CrawlEngine:
         detector: HBDetector,
         config: CrawlConfig | None = None,
         backend: ExecutionBackend | None = None,
+        fault_plan=None,
     ) -> None:
         self.environment = environment
         self.detector = detector
@@ -796,7 +1180,32 @@ class CrawlEngine:
         self.backend = backend or backend_from_name(
             self.config.backend, workers=self.config.workers
         )
+        self.fault_plan = fault_plan
         self._context = WorkerContext.build(self.environment, self.detector, self.config)
+
+    def _fault_event(self, kind: str, **data) -> None:
+        """Append one supervision event to ``config.fault_log`` (best effort).
+
+        JSON lines, parent-process only; the campaign service tails this
+        file into SSE ``fault`` events.  Log I/O failures are swallowed —
+        observability must never take down a crawl that supervision just
+        saved.
+        """
+        path = self.config.fault_log
+        if not path:
+            return
+        record = {"event": kind, "ts": round(time.time(), 3), **data}
+        try:
+            with open(path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        except OSError:  # pragma: no cover - best-effort log
+            pass
+
+    def _supervision_counts(self) -> tuple[int, int]:
+        return (
+            getattr(self.backend, "retries", 0),
+            getattr(self.backend, "pool_rebuilds", 0),
+        )
 
     def plan(self, publishers: Sequence[Publisher] | PublisherPopulation) -> CrawlPlan:
         """The shard plan this engine would use for ``publishers``."""
@@ -850,6 +1259,9 @@ class CrawlEngine:
         recovered detections are not re-streamed to ``sink``/``progress``.
         """
         plan = self.plan(publishers)
+        policy = SupervisionPolicy.from_config(self.config)
+        if self.fault_plan is not None and sink is not None:
+            sink = self.fault_plan.wrap_sink(sink)
         prior = CrawlResult()
         skip = 0
         if checkpoint is not None:
@@ -860,12 +1272,39 @@ class CrawlEngine:
                 )
             prior, skip = checkpoint.begin_phase(plan, crawl_day, sink)
         emitted = len(prior.detections)
+        degraded = False
+        sink_retries = 0
+
+        def write_detection(detection: SiteDetection) -> None:
+            # Transient sink failures get the same backoff policy as shard
+            # retries; a failed write leaves buffered sinks intact, so the
+            # retry re-writes exactly the same record.
+            nonlocal sink_retries
+            attempt = 0
+            while True:
+                try:
+                    sink.write(detection)  # type: ignore[union-attr]
+                    return
+                except StorageError as exc:
+                    if attempt >= policy.retries:
+                        raise
+                    attempt += 1
+                    sink_retries += 1
+                    self._fault_event(
+                        "sink_retry", attempt=attempt, error=f"{type(exc).__name__}: {exc}"
+                    )
+                    time.sleep(policy.delay("sink-write", attempt))
 
         def emit(detection: SiteDetection) -> None:
             nonlocal emitted
+            if degraded:
+                # An inline backend already hit a quarantined shard: every
+                # later shard is past the gap and its detections can never
+                # be part of this run's canonical prefix.
+                return
             emitted += 1
             if sink is not None:
-                sink.write(detection)
+                write_detection(detection)
             if progress is not None:
                 progress(emitted, plan.n_sites, detection)
 
@@ -878,12 +1317,40 @@ class CrawlEngine:
 
         inline = self.backend.streams_inline
         self.backend.prepare(self._context)
+        install_supervision = getattr(self.backend, "set_supervision", None)
+        if install_supervision is not None:
+            install_supervision(policy, self._fault_event)
+        install_plan = getattr(self.backend, "set_fault_plan", None)
+        if install_plan is not None:
+            install_plan(self.fault_plan)
+        counts_before = self._supervision_counts()
         publish_sites = getattr(self.backend, "publish_sites", None)
         if publish_sites is not None:
             # The canonical order (shard concatenation) guarantees element
             # identity between the published list and every shard slice.
             publish_sites([p for shard in plan.shards for p in shard.publishers])
-        sink_flush = getattr(sink, "flush", None) if sink is not None else None
+        raw_flush = getattr(sink, "flush", None) if sink is not None else None
+
+        def _flush_with_retry() -> None:
+            nonlocal sink_retries
+            attempt = 0
+            while True:
+                try:
+                    raw_flush()  # type: ignore[misc]
+                    return
+                except StorageError as exc:
+                    # A failed flush keeps the sink's buffer, so retrying
+                    # re-flushes the same payload.
+                    if attempt >= policy.retries:
+                        raise
+                    attempt += 1
+                    sink_retries += 1
+                    self._fault_event(
+                        "sink_retry", attempt=attempt, error=f"{type(exc).__name__}: {exc}"
+                    )
+                    time.sleep(policy.delay("sink-flush", attempt))
+
+        sink_flush = _flush_with_retry if raw_flush is not None else None
         # Phase-cumulative counters for checkpointing (resumed prefix included).
         n_detections = len(prior.detections)
         pages_visited = prior.pages_visited
@@ -898,9 +1365,19 @@ class CrawlEngine:
         # complete when the loop ends.
         ordered: list[CrawlResult] = []
         early: dict[int, CrawlResult] = {}
+        failures: dict[int, ShardFailure] = {}
         for shard_index, shard_result in self.backend.execute(
             remaining, crawl_day, emit if inline else None
         ):
+            if isinstance(shard_result, ShardFailure):
+                # Quarantined: the in-order walk below stops at this index,
+                # so nothing at or past the first failure is emitted or
+                # checkpointed. The backend keeps draining, discovering
+                # every poison shard in one degraded pass.
+                failures[shard_index] = shard_result
+                if inline:
+                    degraded = True
+                continue
             early[shard_index] = shard_result
             at_boundary = False
             while skip + len(ordered) in early:
@@ -936,7 +1413,25 @@ class CrawlEngine:
                         sink_offset=sink.offset,  # type: ignore[union-attr]
                         persist=done or boundaries % checkpoint_every == 0,
                     )
-        return prior.merge(CrawlResult.merged(ordered))
+        result = prior.merge(CrawlResult.merged(ordered))
+        retries_after, rebuilds_after = self._supervision_counts()
+        result.retries += retries_after - counts_before[0]
+        result.pool_rebuilds += rebuilds_after - counts_before[1]
+        result.sink_retries += sink_retries
+        if failures:
+            quarantined = tuple(failures[index] for index in sorted(failures))
+            result.quarantined_shards = result.quarantined_shards + quarantined
+            self._fault_event(
+                "degraded",
+                crawl_day=crawl_day,
+                quarantined=[failure.shard_index for failure in quarantined],
+            )
+            if checkpoint is not None:
+                # Persist the quarantine list (and the latest in-memory
+                # progress, which may have been throttled) so a resume knows
+                # exactly what is left to re-crawl.
+                checkpoint.record_quarantine(crawl_day, quarantined)
+        return result
 
     def crawl_domains(
         self,

@@ -42,6 +42,11 @@ class LongitudinalCrawl:
         return len(self.daily_results)
 
     @property
+    def degraded(self) -> bool:
+        """True when any phase completed with quarantined shards."""
+        return self.discovery.degraded or any(r.degraded for r in self.daily_results)
+
+    @property
     def all_detections(self) -> list[SiteDetection]:
         """Every detection, discovery pass included, in crawl order."""
         detections = list(self.discovery.detections)
@@ -93,12 +98,21 @@ class LongitudinalScheduler:
         re-crawled — the discovery result, and therefore the HB-site list the
         daily plans derive from, is reconstructed deterministically — and the
         interrupted phase restarts from its last recorded shard boundary.
+
+        A phase that completes *degraded* (supervision quarantined shards,
+        see :attr:`CrawlResult.quarantined_shards`) ends the campaign at that
+        phase: a degraded discovery would derive the wrong HB-site list for
+        every later day, and a degraded day would leave a gap mid-stream.
+        The quarantine is recorded in the checkpoint, so a resume re-crawls
+        the missing shards and continues the remaining days byte-identically.
         """
         targets = list(domains) if domains is not None else list(population.domains)
         discovery = self.crawler.crawl_domains(
             population, targets, crawl_day=0, sink=sink, checkpoint=checkpoint
         )
         longitudinal = LongitudinalCrawl(discovery=discovery)
+        if discovery.degraded:
+            return longitudinal
 
         hb_domains = discovery.hb_domains
         for day in range(1, self.recrawl_days + 1):
@@ -106,4 +120,6 @@ class LongitudinalScheduler:
                 population, hb_domains, crawl_day=day, sink=sink, checkpoint=checkpoint
             )
             longitudinal.daily_results.append(daily)
+            if daily.degraded:
+                break
         return longitudinal

@@ -59,6 +59,8 @@ from repro.experiments.runner import ExperimentRunner
 
 __all__ = [
     "ALERT_KINDS",
+    "FAILED_TICK_BACKOFF_BASE",
+    "FAILED_TICK_BACKOFF_CAP",
     "AlertRule",
     "RecrawlDaemon",
     "TickReport",
@@ -246,15 +248,25 @@ def evaluate_rules(
 # The daemon
 
 
+#: Base/cap for the exponential backoff between failed ticks: the first
+#: retry waits at least the base (even with ``interval=0``), each further
+#: consecutive failure doubles the wait up to the cap.
+FAILED_TICK_BACKOFF_BASE = 1.0
+FAILED_TICK_BACKOFF_CAP = 300.0
+
+
 @dataclass(frozen=True)
 class TickReport:
     """What one daemon tick did."""
 
     #: ``"bootstrapped"`` (discovery pass ran), ``"advanced"`` (a crawl day
-    #: was appended or completed) or ``"complete"`` (the target horizon is
-    #: already recorded; nothing ran).
+    #: was appended or completed), ``"complete"`` (the target horizon is
+    #: already recorded; nothing ran) or ``"failed"`` (the tick errored or
+    #: completed degraded; see :attr:`error` — the campaign stays
+    #: checkpointed and the next tick resumes it).
     status: str
-    #: The crawl day this tick produced (``None`` when complete).
+    #: The crawl day this tick produced (``None`` when complete or failed
+    #: before a day was targeted).
     day: int | None
     #: The campaign's recorded day horizon after the tick.
     horizon: int
@@ -264,6 +276,8 @@ class TickReport:
     alerts: list[dict] = field(default_factory=list)
     #: Days whose metric snapshots this tick wrote (restart catch-up included).
     snapshot_days: list[int] = field(default_factory=list)
+    #: What went wrong, for ``"failed"`` ticks.
+    error: str | None = None
 
 
 class RecrawlDaemon:
@@ -332,6 +346,7 @@ class RecrawlDaemon:
         self.metrics_dir = self.workdir / "metrics"
         self.partitions_dir = self.workdir / "partitions"
         self.alert_log = self.workdir / "alerts.jsonl"
+        self.fault_log_path = self.workdir / "faults.jsonl"
         if self.sink_path.exists() and not self.checkpoint_path.exists():
             raise ConfigurationError(
                 f"{self.workdir} holds a detection sink but no checkpoint; "
@@ -394,9 +409,33 @@ class RecrawlDaemon:
             recrawl_days=days,
             checkpoint_path=str(self.checkpoint_path),
             resume=resume,
+            fault_log=self.config.fault_log or str(self.fault_log_path),
         )
         storage = self._storage_factory(self.sink_path, config.store_format)
         artifacts = ExperimentRunner(config).run(use_cache=False, storage=storage)
+        if artifacts.longitudinal.degraded:
+            # The last phase quarantined shards, so its detections are a
+            # prefix: skip its snapshot/partition (the day is not done) and
+            # report a failed tick.  The quarantine lives in the checkpoint,
+            # so the next tick resumes exactly the missing shards.
+            results = [
+                artifacts.longitudinal.discovery,
+                *artifacts.longitudinal.daily_results,
+            ]
+            quarantined = sum(len(r.quarantined_shards) for r in results)
+            alerts, snapshot_days = self._record_days(artifacts, skip_last=True)
+            return TickReport(
+                status="failed",
+                day=days,
+                horizon=days,
+                detections=len(artifacts.dataset),
+                alerts=alerts,
+                snapshot_days=snapshot_days,
+                error=(
+                    f"day {days} completed degraded: {quarantined} shard(s) "
+                    f"quarantined after exhausting retries"
+                ),
+            )
         alerts, snapshot_days = self._record_days(artifacts)
         self._prune(last_day=days)
         return TickReport(
@@ -421,34 +460,80 @@ class RecrawlDaemon:
         ``interval`` seconds pass between ticks (interruptibly, when a
         ``stop_event`` is given).  ``on_tick`` sees every report as it
         lands — the CLI prints them live through this.
+
+        A tick that raises (or completes degraded) does not kill the loop:
+        it becomes a ``"failed"`` :class:`TickReport` and the loop backs off
+        exponentially — ``min(cap, max(interval, base) * 2**(failures-1))``
+        seconds after the *failures*-th consecutive failure — before
+        retrying the same day from its checkpoint.  One successful tick
+        resets the backoff.  ``KeyboardInterrupt`` still propagates (Ctrl-C
+        / SIGTERM stop the daemon, they are not faults).
         """
         reports: list[TickReport] = []
+        consecutive_failures = 0
         while max_ticks is None or len(reports) < max_ticks:
-            report = self.tick()
+            try:
+                report = self.tick()
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:  # noqa: BLE001 - the daemon outlives one bad tick
+                state = None
+                try:
+                    state = self.recorded_state()
+                    detections = self._sink_detections()
+                except Exception:  # noqa: BLE001 - e.g. a corrupt checkpoint
+                    detections = 0
+                report = TickReport(
+                    status="failed",
+                    day=None,
+                    horizon=state[0] if state else 0,
+                    detections=detections,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            if report.status == "failed":
+                consecutive_failures += 1
+            else:
+                consecutive_failures = 0
             reports.append(report)
             if on_tick is not None:
                 on_tick(report)
             if report.status == "complete":
                 break
             if (
-                self.target_days is not None
+                report.status != "failed"
+                and self.target_days is not None
                 and report.day is not None
                 and report.day >= self.target_days
             ):
                 break
+            delay = interval
+            if consecutive_failures:
+                delay = min(
+                    FAILED_TICK_BACKOFF_CAP,
+                    max(interval, FAILED_TICK_BACKOFF_BASE)
+                    * 2 ** (consecutive_failures - 1),
+                )
             if stop_event is not None:
-                if stop_event.wait(interval):
+                if stop_event.wait(delay):
                     break
-            elif interval > 0:
-                time.sleep(interval)
+            elif delay > 0:
+                time.sleep(delay)
         return reports
 
     # -- snapshots, partitions, alerts ------------------------------------------
-    def _record_days(self, artifacts) -> tuple[list[dict], list[int]]:
-        """Snapshot + partition every recorded day missing them; alert on new days."""
+    def _record_days(self, artifacts, *, skip_last: bool = False) -> tuple[list[dict], list[int]]:
+        """Snapshot + partition every recorded day missing them; alert on new days.
+
+        ``skip_last`` leaves the final day unrecorded — a degraded phase's
+        detections are a truncated prefix, and writing its snapshot (the
+        day's "recorded" marker) would stop the resumed, completed day from
+        ever being snapshotted.
+        """
         longitudinal = artifacts.longitudinal
         per_day = [list(longitudinal.discovery.detections)]
         per_day.extend(list(r.detections) for r in longitudinal.daily_results)
+        if skip_last:
+            per_day = per_day[:-1]
         alerted = self._alerted_days()
         emitted: list[dict] = []
         snapshot_days: list[int] = []
@@ -543,20 +628,30 @@ class RecrawlDaemon:
             os.fsync(handle.fileno())
 
     def read_alerts(self) -> list[dict]:
-        """Every alert recorded so far, in emission order."""
+        """Every alert recorded so far, in emission order.
+
+        Only whole (newline-terminated) lines are considered: a daemon
+        killed mid-append can leave a torn final line — possibly cut
+        mid-UTF-8-codepoint — which belongs to no alert yet.  Each complete
+        line decodes and parses independently, so one bad record never hides
+        the rest.
+        """
         try:
-            lines = self.alert_log.read_text(encoding="utf-8").splitlines()
+            raw = self.alert_log.read_bytes()
         except OSError:
             return []
+        end = raw.rfind(b"\n")
+        if end < 0:
+            return []
         records = []
-        for line in lines:
+        for line in raw[: end + 1].splitlines():
             line = line.strip()
             if not line:
                 continue
             try:
-                records.append(json.loads(line))
-            except json.JSONDecodeError:
-                continue  # a torn tail from a kill mid-append
+                records.append(json.loads(line.decode("utf-8")))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                continue  # a torn or corrupt record from a kill mid-append
         return records
 
     # -- retention ---------------------------------------------------------------

@@ -58,6 +58,14 @@ class CheckpointError(CrawlError):
     """A crawl checkpoint is missing, corrupt, or does not match this run."""
 
 
+class ShardTimeout(CrawlError):
+    """A shard attempt exceeded ``CrawlConfig.shard_timeout``.
+
+    Raised engine-side (the supervision loop abandons the attempt's future);
+    retryable like any transient worker failure.
+    """
+
+
 class StorageError(ReproError):
     """Reading or writing a crawl dataset on disk failed."""
 

@@ -77,6 +77,27 @@ class ExperimentConfig:
     #: :meth:`ExperimentRunner.run` must match; ``hbrepro convert``
     #: translates between the two after the fact.
     store_format: str = "jsonl"
+    #: Supervision: retry budget per shard before it is quarantined.  Purely
+    #: operational — retried shards reproduce identical bytes (simulation is
+    #: deterministic), so none of the supervision knobs enter the campaign
+    #: fingerprint or the artifact-cache key.
+    shard_retries: int = 2
+    #: Per-attempt wall-clock budget in seconds for pool backends (``None``
+    #: disables; not enforceable on the serial backend).
+    shard_timeout: float | None = None
+    #: Base backoff in seconds between retry attempts (exponential with
+    #: deterministic jitter); also governs transient sink-write retries.
+    retry_backoff: float = 0.1
+    #: Optional fault-injection plan (see
+    #: :func:`repro.testing.parse_fault_plan`), e.g.
+    #: ``"seed=7,crash@p=0.2x4,sink@p=0.1x5"``.  Intended for chaos testing:
+    #: the run exercises the supervision machinery but — because retried
+    #: shards are deterministic — still produces byte-identical detections.
+    fault_spec: str | None = None
+    #: Optional path of a JSON-lines supervision event log (retries, pool
+    #: rebuilds, quarantines); threaded through to
+    #: :attr:`CrawlConfig.fault_log`.
+    fault_log: str | None = None
 
     def __post_init__(self) -> None:
         if self.total_sites < 10:
@@ -99,10 +120,15 @@ class ExperimentConfig:
             raise ConfigurationError(
                 f"store_format must be one of {', '.join(STORE_FORMATS)}; got {self.store_format!r}"
             )
-        # workers / crawl_backend / checkpoint_every_shards validation lives
-        # in CrawlConfig; building the crawl config surfaces any error at
+        # workers / crawl_backend / checkpoint_every_shards /
+        # shard_retries / shard_timeout / retry_backoff validation lives in
+        # CrawlConfig; building the crawl config surfaces any error at
         # construction time.
         self.crawl_config()
+        if self.fault_spec is not None:
+            from repro.testing import parse_fault_plan
+
+            parse_fault_plan(self.fault_spec)
 
     # -- presets ------------------------------------------------------------------
     @classmethod
@@ -136,6 +162,10 @@ class ExperimentConfig:
             fast_path=self.fast_path,
             batch_sim=self.batch_sim,
             shard_oversubscribe=self.shard_oversubscribe,
+            shard_retries=self.shard_retries,
+            shard_timeout=self.shard_timeout,
+            retry_backoff=self.retry_backoff,
+            fault_log=self.fault_log,
         )
 
     def with_parallelism(self, workers: int, backend: str = "thread") -> "ExperimentConfig":

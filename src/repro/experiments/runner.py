@@ -194,7 +194,10 @@ class ExperimentRunner:
                 f"build the storage with repro.crawler.colstore.storage_for"
             )
         cache_key = _run_cache_key(config)
-        use_cache = use_cache and storage is None
+        # Fault-injected runs are never cached: a chaos run that quarantines
+        # shards completes degraded, and serving it from cache would hand a
+        # later clean run the truncated artifacts.
+        use_cache = use_cache and storage is None and config.fault_spec is None
         if use_cache:
             cached = _cache_get(cache_key)
             if cached is not None:
@@ -214,11 +217,18 @@ class ExperimentRunner:
                 checkpointer = CrawlCheckpointer.fresh(
                     config.checkpoint_path, fingerprint
                 )
+        fault_plan = None
+        if config.fault_spec is not None:
+            from repro.testing import parse_fault_plan
+
+            fault_plan = parse_fault_plan(config.fault_spec)
         # Pool workers persist across the discovery pass and every daily
         # re-crawl (their environment/detector ships once per worker, not
         # once per shard); the context managers release them when the
         # campaign is done without masking a mid-crawl error.
-        with Crawler(environment, detector, config.crawl_config()) as crawler:
+        with Crawler(
+            environment, detector, config.crawl_config(), fault_plan=fault_plan
+        ) as crawler:
             scheduler = LongitudinalScheduler(crawler, recrawl_days=config.recrawl_days)
             if storage is not None:
                 # Resume appends to the recovered sink; fresh runs start over.

@@ -416,7 +416,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     # -- server-sent events --------------------------------------------------------
     def _get_events(self, campaign_id: str, params: dict[str, list[str]]) -> None:
-        """Stream ``progress`` / ``metrics`` / ``alert`` / ``state`` events.
+        """Stream ``progress`` / ``metrics`` / ``alert`` / ``fault`` / ``state`` events.
 
         Each poll round probes the sink with ``size()``; when new bytes have
         been flushed, the newly-completed records are folded into the
@@ -425,7 +425,9 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         per requested artifact set — is emitted.  The campaign's regression
         alert log (``alerts.jsonl``, written by daemon ticks) is tailed the
         same way: every record streams exactly once per connection as an
-        ``alert`` event, existing records first.  When a poll round has
+        ``alert`` event, existing records first.  The engine's supervision
+        event log (``faults.jsonl``: shard retries, pool rebuilds,
+        quarantines) streams identically as ``fault`` events.  When a poll round has
         nothing to say for ``?keepalive=`` seconds, a ``: keepalive`` SSE
         comment line is written so idle streams survive proxies and client
         read timeouts.  The stream always ends with a final ``metrics``
@@ -467,6 +469,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         deadline = time.monotonic() + timeout
         store = campaign.store
         alert_offset = 0
+        fault_offset = 0
 
         def drain_alerts() -> bool:
             nonlocal alert_offset
@@ -475,11 +478,22 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 self._emit("alert", {"campaign": campaign.id, **alert})
             return bool(alerts)
 
+        def drain_faults() -> bool:
+            # The engine's supervision event log (retries, pool rebuilds,
+            # quarantines) streams through the same whole-lines-only tail as
+            # the alert log.
+            nonlocal fault_offset
+            faults, fault_offset = _tail_alerts(campaign.fault_log_path, fault_offset)
+            for fault in faults:
+                self._emit("fault", {"campaign": campaign.id, **fault})
+            return bool(faults)
+
         try:
             self._emit("progress", self._progress_payload(campaign, fresh=0))
             last_emit = time.monotonic()
             while True:
                 emitted = drain_alerts()
+                emitted = drain_faults() or emitted
                 fresh = store.refresh()
                 finished = campaign.terminal and store.drained()
                 if fresh:
@@ -490,8 +504,10 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 if finished:
                     # A tick appends its last alerts just before the campaign
                     # flips terminal; drain anything that landed since the
-                    # check above so no alert is lost to the close.
+                    # check above so no alert or fault event is lost to the
+                    # close.
                     drain_alerts()
+                    drain_faults()
                     if artifact_names:
                         self._emit("metrics", self._metrics_payload(campaign, artifact_names, final=True))
                     self._emit("state", campaign.to_dict(refresh=False))

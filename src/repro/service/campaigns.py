@@ -75,7 +75,8 @@ _CONFIG_ALIASES = {
 }
 
 #: Config fields the server owns; a submission naming them is rejected.
-_SERVER_MANAGED = ("checkpoint_path", "resume")
+#: (Each campaign's supervision event log always lands in its own workdir.)
+_SERVER_MANAGED = ("checkpoint_path", "resume", "fault_log")
 
 
 def campaign_config_from_dict(data: Any) -> ExperimentConfig:
@@ -228,6 +229,17 @@ def _cancellable_storage(path: Path, store_format: str, cancel_event: threading.
     return _CancellableStorage(path, cancel_event)
 
 
+def _supervision_counts(longitudinal) -> dict[str, int]:
+    """Aggregate a run's supervision counters across all its phases."""
+    results = [longitudinal.discovery, *longitudinal.daily_results]
+    return {
+        "retries": sum(r.retries for r in results),
+        "pool_rebuilds": sum(r.pool_rebuilds for r in results),
+        "sink_retries": sum(r.sink_retries for r in results),
+        "quarantined": sum(len(r.quarantined_shards) for r in results),
+    }
+
+
 @dataclass
 class Campaign:
     """One submitted measurement campaign and its run-side state."""
@@ -242,6 +254,9 @@ class Campaign:
     finished_at: float | None = None
     #: How many times the campaign has been (re-)queued; 1 for a fresh run.
     runs: int = 0
+    #: Supervision counters from the last finished run (retries,
+    #: pool_rebuilds, sink_retries, quarantined); empty until a run ends.
+    supervision: dict[str, int] = field(default_factory=dict)
     store: DetectionStore = field(init=False, repr=False)
     _cancel: threading.Event = field(default_factory=threading.Event, init=False, repr=False)
     _thread: threading.Thread | None = field(default=None, init=False, repr=False)
@@ -264,10 +279,17 @@ class Campaign:
         return self.workdir / "alerts.jsonl"
 
     @property
+    def fault_log_path(self) -> Path:
+        """The crawl engine's append-only supervision event log."""
+        return self.workdir / "faults.jsonl"
+
+    @property
     def alert_count(self) -> int:
+        # Only newline-terminated lines count: the daemon may be mid-append,
+        # and a torn final line is not yet an alert.
         try:
             with self.alert_log_path.open("rb") as handle:
-                return sum(1 for line in handle if line.strip())
+                return sum(1 for line in handle if line.endswith(b"\n") and line.strip())
         except OSError:
             return 0
 
@@ -290,6 +312,12 @@ class Campaign:
             "config": campaign_config_to_dict(self.config),
             "resumable": self.checkpoint_path.exists(),
             "alerts": self.alert_count,
+            "supervision": {
+                "retries": self.supervision.get("retries", 0),
+                "pool_rebuilds": self.supervision.get("pool_rebuilds", 0),
+                "sink_retries": self.supervision.get("sink_retries", 0),
+                "quarantined": self.supervision.get("quarantined", 0),
+            },
             "detections": {
                 "indexed": self.store.count,
                 "sink_bytes": self.store.storage.size(),
@@ -541,12 +569,13 @@ class CampaignManager:
                 campaign.config,
                 checkpoint_path=str(campaign.checkpoint_path),
                 resume=resume,
+                fault_log=str(campaign.fault_log_path),
             )
             storage = _cancellable_storage(
                 campaign.sink_path, campaign.config.store_format, campaign._cancel
             )
             try:
-                ExperimentRunner(config).run(use_cache=False, storage=storage)
+                artifacts = ExperimentRunner(config).run(use_cache=False, storage=storage)
             except CampaignCancelled:
                 self._finish(campaign, "cancelled")
             except ReproError as exc:
@@ -554,20 +583,88 @@ class CampaignManager:
             except Exception as exc:  # noqa: BLE001 - a campaign must never kill the server
                 self._finish(campaign, "failed", error=f"{type(exc).__name__}: {exc}")
             else:
-                self._finish(campaign, "done")
+                longitudinal = artifacts.longitudinal
+                supervision = _supervision_counts(longitudinal)
+                if longitudinal.degraded:
+                    # Degraded completion: shards exhausted their retries and
+                    # were quarantined.  The quarantine lives in the
+                    # checkpoint, so `resume()` re-crawls exactly the missing
+                    # shards — surface it as a resumable failure.
+                    self._finish(
+                        campaign,
+                        "failed",
+                        error=(
+                            f"{supervision['quarantined']} shard(s) quarantined "
+                            f"after exhausting retries; resume to re-crawl them"
+                        ),
+                        supervision=supervision,
+                    )
+                else:
+                    self._finish(campaign, "done", supervision=supervision)
         finally:
             self._slots.release()
 
-    def _finish(self, campaign: Campaign, state: str, *, error: str | None = None, locked: bool = False) -> None:
+    def _finish(
+        self,
+        campaign: Campaign,
+        state: str,
+        *,
+        error: str | None = None,
+        supervision: Mapping[str, int] | None = None,
+        locked: bool = False,
+    ) -> None:
         if locked:
-            campaign.state = state
-            campaign.error = error
-            campaign.finished_at = time.time()
+            self._finish_locked(campaign, state, error, supervision)
             return
         with self._lock:
-            campaign.state = state
-            campaign.error = error
-            campaign.finished_at = time.time()
+            self._finish_locked(campaign, state, error, supervision)
+
+    def _finish_locked(
+        self,
+        campaign: Campaign,
+        state: str,
+        error: str | None,
+        supervision: Mapping[str, int] | None,
+    ) -> None:
+        campaign.state = state
+        campaign.error = error
+        campaign.finished_at = time.time()
+        if supervision is not None:
+            campaign.supervision = dict(supervision)
+        self._persist_record(campaign)
+
+    def _persist_record(self, campaign: Campaign) -> None:
+        """Best-effort sync of the campaign's outcome to ``campaign.json``.
+
+        A restarted server (or an operator with ``cat``) can tell a failed
+        campaign from a finished one without the in-memory manager: the
+        record carries the final state, error and supervision counters of
+        the latest run.
+        """
+        path = campaign.workdir / "campaign.json"
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            record = {
+                "id": campaign.id,
+                "created_at": campaign.created_at,
+                "config": campaign_config_to_dict(campaign.config),
+            }
+        record.update(
+            {
+                "state": campaign.state,
+                "error": campaign.error,
+                "runs": campaign.runs,
+                "finished_at": campaign.finished_at,
+                "supervision": dict(campaign.supervision),
+            }
+        )
+        try:
+            path.write_text(
+                json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+            )
+        except OSError:  # pragma: no cover - disk-full etc.; state stays in memory
+            pass
 
     # -- conveniences ------------------------------------------------------------
     def wait(self, campaign_id: str, *, timeout: float = 60.0, interval: float = 0.05) -> Campaign:

@@ -1,0 +1,32 @@
+"""Reusable fault-injection tooling for exercising crawl robustness.
+
+Promoted from ``tests/crash_harness.py`` so that benchmarks, the service,
+and the CLI (``repro run --inject-faults``) can inject faults without
+reaching into the test tree.
+"""
+
+from repro.testing.faults import (
+    Fault,
+    FaultAction,
+    FaultInjectingSink,
+    FaultPlan,
+    FaultyBackend,
+    InjectedFault,
+    SimulatedCrash,
+    interrupted_then_resumed,
+    parse_fault_plan,
+    uninterrupted_baseline,
+)
+
+__all__ = [
+    "Fault",
+    "FaultAction",
+    "FaultInjectingSink",
+    "FaultPlan",
+    "FaultyBackend",
+    "InjectedFault",
+    "SimulatedCrash",
+    "interrupted_then_resumed",
+    "parse_fault_plan",
+    "uninterrupted_baseline",
+]

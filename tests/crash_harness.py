@@ -1,145 +1,27 @@
-"""Crash-injection harness for resumable-crawl tests.
+"""Back-compat shim: the crash harness now lives in ``repro.testing.faults``.
 
-:class:`FaultyBackend` wraps a real execution backend and dies after handing
-the engine a configured number of shard results, simulating a crawl process
-killed mid-campaign.  Because it wraps the genuine backend, the shards that
-*do* complete are crawled by the real serial/thread/process machinery, so a
-resumed run exercises exactly the recovery path a production crash would.
-
-The crash is raised from the backend's ``execute`` generator, i.e. inside the
-engine's merge loop: everything the engine already emitted and flushed stays
-on disk (plus, possibly, a half-flushed tail beyond the last checkpoint),
-everything in flight is lost — the same observable state as a SIGKILL between
-two shard boundaries.
+Kept so existing ``from tests.crash_harness import ...`` (and bare
+``from crash_harness import ...``) sites keep working; new code should
+import from :mod:`repro.testing` directly.  Only the pytest fixture stays
+here — fixtures belong to the test tree, not the library.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.crawler.checkpoint import CrawlCheckpointer
-from repro.crawler.colstore import storage_for
-from repro.crawler.engine import CrawlEngine, backend_from_name
-
-
-class SimulatedCrash(RuntimeError):
-    """The injected failure.
-
-    Deliberately *not* a :class:`repro.errors.ReproError`: a real crash
-    (OOM kill, power loss) is not a library error, and tests must see it
-    surface unmasked through every cleanup layer.
-    """
-
-
-class FaultyBackend:
-    """Wraps a real backend and crashes after ``fail_after`` shard results.
-
-    ``fail_after=k`` hands the engine exactly ``k`` shard results — counted
-    across the backend's whole lifetime, so a multi-phase campaign can die
-    mid-re-crawl — and then raises :class:`SimulatedCrash`.  ``k=0`` dies
-    before the first shard lands, ``k=n_shards`` dies after a one-phase crawl
-    finished but before ``crawl()`` could return, and a ``fail_after`` beyond
-    the campaign's total shard count never fires.
-    """
-
-    def __init__(self, inner, fail_after: int) -> None:
-        self.inner = inner
-        self.fail_after = fail_after
-        self.produced = 0
-        self.crashes = 0
-
-    @property
-    def name(self) -> str:
-        return self.inner.name
-
-    @property
-    def streams_inline(self) -> bool:
-        return self.inner.streams_inline
-
-    def prepare(self, context) -> None:
-        self.inner.prepare(context)
-
-    def shutdown(self) -> None:
-        self.inner.shutdown()
-
-    def execute(self, shards, crawl_day, on_detection):
-        results = self.inner.execute(shards, crawl_day, on_detection)
-        while True:
-            if self.produced == self.fail_after:
-                self.crashes += 1
-                raise SimulatedCrash(
-                    f"injected crash after {self.produced} shard results"
-                )
-            try:
-                item = next(results)
-            except StopIteration:
-                return
-            yield item
-            self.produced += 1
-
-
-def interrupted_then_resumed(
-    environment,
-    detector,
-    config,
-    sites,
-    *,
-    tmp_path,
-    fail_after: int,
-    crawl_day: int = 0,
-    flush_every: int = 3,
-    resume_config=None,
-    store_format: str = "jsonl",
-):
-    """Crash a checkpointed crawl after ``fail_after`` shards, then resume it.
-
-    Returns ``(result, storage)``: the resumed (complete) crawl result and
-    the storage whose file now holds the recovered-plus-resumed bytes.  When
-    ``fail_after`` exceeds the shard count the first run simply completes and
-    the "resume" is a no-op replay — which must also be byte-identical.
-    """
-    fingerprint = {
-        "seed": config.seed,
-        "sites": [publisher.domain for publisher in sites],
-    }
-    suffix = "hbc" if store_format == "columnar" else "jsonl"
-    storage = storage_for(tmp_path / f"interrupted.{suffix}", format=store_format)
-    checkpoint_path = tmp_path / "checkpoint.json"
-
-    faulty = FaultyBackend(
-        backend_from_name(config.backend, workers=config.workers), fail_after
-    )
-    recorder = CrawlCheckpointer.fresh(checkpoint_path, fingerprint)
-    engine = CrawlEngine(environment, detector, config, backend=faulty)
-    crashed = False
-    try:
-        with engine, storage.open_sink(flush_every=flush_every) as sink:
-            engine.crawl(sites, crawl_day=crawl_day, sink=sink, checkpoint=recorder)
-    except SimulatedCrash:
-        crashed = True
-    n_shards = len(engine.plan(sites).shards)
-    assert crashed == (fail_after <= n_shards)
-
-    resumed = CrawlCheckpointer.resume(checkpoint_path, fingerprint, storage)
-    with CrawlEngine(environment, detector, resume_config or config) as engine:
-        with storage.open_sink(append=True, flush_every=flush_every) as sink:
-            result = engine.crawl(
-                sites, crawl_day=crawl_day, sink=sink, checkpoint=resumed
-            )
-    return result, storage
-
-
-def uninterrupted_baseline(
-    environment, detector, config, sites, *, tmp_path, crawl_day: int = 0,
-    flush_every: int = 3, store_format: str = "jsonl",
-):
-    """One-shot reference crawl: the bytes and result resume must reproduce."""
-    suffix = "hbc" if store_format == "columnar" else "jsonl"
-    storage = storage_for(tmp_path / f"baseline.{suffix}", format=store_format)
-    with CrawlEngine(environment, detector, config) as engine:
-        with storage.open_sink(flush_every=flush_every) as sink:
-            result = engine.crawl(sites, crawl_day=crawl_day, sink=sink)
-    return result, storage
+from repro.testing.faults import (  # noqa: F401 - re-exported for back-compat
+    Fault,
+    FaultAction,
+    FaultInjectingSink,
+    FaultPlan,
+    FaultyBackend,
+    InjectedFault,
+    SimulatedCrash,
+    interrupted_then_resumed,
+    parse_fault_plan,
+    uninterrupted_baseline,
+)
 
 
 @pytest.fixture
